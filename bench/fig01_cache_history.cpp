@@ -1,0 +1,77 @@
+// Figure 1 — "The size of different levels of hardware caches along with
+// their year of appearance (roughly) in commercial processors."
+//
+// This figure is historical data, not a simulation result; the series below
+// reconstructs it from representative commercial parts (the paper plots the
+// same trend: each level growing over time, a new level appearing roughly
+// every decade, L4 arriving around 2012).  The bench prints the series and
+// the derived observations the introduction rests on.
+#include <cstdio>
+
+#include "common/cli.h"
+#include "harness/report.h"
+
+using namespace redhip;
+
+namespace {
+
+struct Point {
+  int year;
+  const char* level;
+  double kb;
+  const char* example;
+};
+
+// Representative commercial processors per (year, level).
+const Point kHistory[] = {
+    {1987, "L1", 1, "Intel 386 off-die SRAM era"},
+    {1989, "L1", 8, "Intel 486 (unified 8KB)"},
+    {1993, "L1", 16, "Pentium (8KB I + 8KB D)"},
+    {1997, "L1", 32, "Pentium II"},
+    {2002, "L1", 32, "Pentium 4 era"},
+    {2007, "L1", 64, "Core 2 (32KB I + 32KB D)"},
+    {2012, "L1", 64, "Sandy/Ivy Bridge"},
+    {1995, "L2", 256, "Pentium Pro (on-package)"},
+    {1999, "L2", 512, "Pentium III Katmai"},
+    {2003, "L2", 1024, "Pentium M"},
+    {2007, "L2", 4096, "Core 2 Duo (shared)"},
+    {2012, "L2", 256, "per-core L2 under a big L3"},
+    {2002, "L3", 2048, "Itanium 2 / POWER4 era"},
+    {2007, "L3", 8192, "Barcelona / POWER6"},
+    {2010, "L3", 12288, "Westmere"},
+    {2012, "L3", 20480, "Sandy Bridge-EP"},
+    {2012, "L4", 65536, "Haswell eDRAM (Crystal Well), POWER7+ class"},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opts(argc, argv);
+  std::printf(
+      "Figure 1 — cache sizes by level and (rough) year of appearance\n\n");
+  TablePrinter t({"year", "level", "size (KB)", "representative part"});
+  for (const Point& p : kHistory) {
+    t.add_row({std::to_string(p.year), p.level, fixed(p.kb, 0), p.example});
+  }
+  if (opts.get_bool("csv", false)) {
+    t.print_csv();
+  } else {
+    t.print();
+  }
+
+  // The two observations the introduction draws from this figure.
+  int first_year[4] = {0, 0, 0, 0};
+  for (const Point& p : kHistory) {
+    const int lvl = p.level[1] - '1';
+    if (first_year[lvl] == 0 || p.year < first_year[lvl]) {
+      first_year[lvl] = p.year;
+    }
+  }
+  std::printf("\nfirst appearance: L1 %d, L2 %d, L3 %d, L4 %d — a new level "
+              "roughly every decade (\"bigger and deeper\")\n",
+              first_year[0], first_year[1], first_year[2], first_year[3]);
+  std::printf(
+      "L4 at 64MB is the machine Table I models; the paper's argument is "
+      "that walks through this stack are now the energy problem\n");
+  return 0;
+}

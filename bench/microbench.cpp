@@ -1,0 +1,157 @@
+// microbench — google-benchmark microbenchmarks for the hot structures:
+// prediction-table query/update, recalibration throughput, CBF operations,
+// tag-array probes, workload generation, and end-to-end simulation speed.
+//
+// These measure the *simulator's* software performance (how fast this
+// library runs), not the modeled hardware.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "cache/tag_array.h"
+#include "common/rng.h"
+#include "harness/run.h"
+#include "predict/counting_bloom.h"
+#include "predict/redhip_table.h"
+#include "prefetch/stride_prefetcher.h"
+#include "trace/workloads.h"
+
+namespace {
+
+using namespace redhip;
+
+void BM_RedhipQuery(benchmark::State& state) {
+  RedhipConfig c;
+  c.table_bits = std::uint64_t{1} << 22;
+  c.recal_interval_l1_misses = 0;
+  RedhipTable t(c);
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 100'000; ++i) t.on_fill(rng.next());
+  std::uint64_t x = 12345;
+  for (auto _ : state) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    benchmark::DoNotOptimize(t.query(x >> 20));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RedhipQuery);
+
+void BM_RedhipFill(benchmark::State& state) {
+  RedhipConfig c;
+  c.table_bits = std::uint64_t{1} << 22;
+  RedhipTable t(c);
+  std::uint64_t x = 9;
+  for (auto _ : state) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    t.on_fill(x >> 20);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RedhipFill);
+
+void BM_RedhipRecalibrate(benchmark::State& state) {
+  // Recalibrate a PT against an LLC with `state.range(0)` MB capacity.
+  CacheGeometry g;
+  g.size_bytes = static_cast<std::uint64_t>(state.range(0)) << 20;
+  g.ways = 16;
+  TagArray llc(g);
+  Xoshiro256 rng(3);
+  for (std::uint64_t i = 0; i < g.lines(); ++i) {
+    const LineAddr line = rng.next() >> 10;
+    if (!llc.contains(line)) llc.fill(line);
+  }
+  RedhipConfig c;
+  c.table_bits = g.size_bytes / 16;  // the paper's 0.78% ratio
+  RedhipTable t(c);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.recalibrate(llc));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(g.lines()));
+  state.SetLabel(std::to_string(state.range(0)) + "MB LLC");
+}
+BENCHMARK(BM_RedhipRecalibrate)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_CbfOps(benchmark::State& state) {
+  CbfConfig c = CbfConfig::for_area_budget(512_KiB);
+  CountingBloomFilter f(c);
+  std::uint64_t x = 77;
+  for (auto _ : state) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    const LineAddr line = x >> 20;
+    f.on_fill(line);
+    benchmark::DoNotOptimize(f.query(line));
+    f.on_evict(line);
+  }
+  state.SetItemsProcessed(state.iterations() * 3);
+}
+BENCHMARK(BM_CbfOps);
+
+void BM_TagArrayLookup(benchmark::State& state) {
+  CacheGeometry g;
+  g.size_bytes = 1_MiB;
+  g.ways = 16;
+  TagArray arr(g);
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 20'000; ++i) {
+    const LineAddr l = rng.below(1 << 15);
+    if (!arr.contains(l)) arr.fill(l);
+  }
+  std::uint64_t x = 13;
+  for (auto _ : state) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    benchmark::DoNotOptimize(arr.lookup((x >> 20) & ((1 << 15) - 1)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TagArrayLookup);
+
+void BM_StridePrefetcher(benchmark::State& state) {
+  StridePrefetcherConfig c;
+  StridePrefetcher p(c);
+  std::vector<LineAddr> out;
+  Addr a = 0;
+  for (auto _ : state) {
+    out.clear();
+    a += 64;
+    p.observe(0x1234, a, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StridePrefetcher);
+
+void BM_WorkloadGeneration(benchmark::State& state) {
+  auto src = make_workload(BenchmarkId::kMcf, 0, 16, 1);
+  MemRef m;
+  for (auto _ : state) {
+    src->next(m);
+    benchmark::DoNotOptimize(m.addr);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WorkloadGeneration);
+
+void BM_EndToEndSimulation(benchmark::State& state) {
+  // Whole-pipeline throughput: references simulated per second under the
+  // scheme in range(0) (0 = Base, 1 = ReDHiP).
+  const Scheme scheme = state.range(0) == 0 ? Scheme::kBase : Scheme::kRedhip;
+  const std::uint64_t refs = 50'000;
+  for (auto _ : state) {
+    RunSpec spec;
+    spec.bench = BenchmarkId::kMilc;
+    spec.scheme = scheme;
+    spec.scale = 16;
+    spec.refs_per_core = refs;
+    benchmark::DoNotOptimize(run_spec(spec).exec_cycles);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(refs * 8));
+  state.SetLabel(scheme == Scheme::kBase ? "Base" : "ReDHiP");
+}
+BENCHMARK(BM_EndToEndSimulation)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

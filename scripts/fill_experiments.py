@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Fill EXPERIMENTS.md placeholders from a bench_output.txt run.
+
+Usage: python3 scripts/fill_experiments.py [bench_output.txt] [EXPERIMENTS.md]
+
+The bench binaries print paper-style tables with an "average" row; this
+script lifts the averages into the {PLACEHOLDER} slots of EXPERIMENTS.md so
+the document always reflects the committed output files.
+"""
+import re
+import sys
+
+
+def section(text, name):
+    """Return the output block of one bench binary."""
+    m = re.search(r"=+ .*/" + name + r"\n(.*?)(?:\n=+ |\Z)", text, re.S)
+    return m.group(1) if m else ""
+
+
+def avg_row(block, table_hint=None):
+    """Cells of the last 'average' row (optionally after a hint line)."""
+    if table_hint:
+        pos = block.find(table_hint)
+        if pos >= 0:
+            block = block[pos:]
+    rows = [l for l in block.splitlines() if l.startswith("average")]
+    if not rows:
+        return []
+    return rows[0].split()[1:]
+
+
+def main():
+    bench_path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
+    md_path = sys.argv[2] if len(sys.argv) > 2 else "EXPERIMENTS.md"
+    text = open(bench_path).read()
+    md = open(md_path).read()
+    subs = {}
+
+    motiv = avg_row(section(text, "motivation_energy_split"))
+    if motiv:
+        subs["MOTIV_DEEP"] = motiv[-1]
+
+    f6 = avg_row(section(text, "fig06_performance"))
+    if len(f6) == 4:
+        subs.update(zip(["F6_ORACLE", "F6_CBF", "F6_PHASED", "F6_REDHIP"], f6))
+
+    b7 = section(text, "fig07_dynamic_energy")
+    f7 = avg_row(b7)
+    if len(f7) == 4:
+        subs.update(zip(["F7_ORACLE", "F7_CBF", "F7_PHASED", "F7_REDHIP"], f7))
+    m = re.search(r"overhead: ([\d.]+%)", b7)
+    if m:
+        subs["F7_OVERHEAD"] = m.group(1)
+
+    b8 = section(text, "fig08_perf_energy_metric")
+    f8 = avg_row(b8)
+    if len(f8) == 3:
+        subs.update(zip(["F8_CBF", "F8_PHASED", "F8_REDHIP"], f8))
+    m = re.search(r"total energy saving: ([\d.]+%)", b8)
+    if m:
+        subs["F8_TOTAL_SAVING"] = m.group(1)
+
+    b9 = section(text, "fig09_10_hit_rates")
+    m = re.search(r"L2 (\+?[-\d.]+%)\s+L3 (\+?[-\d.]+%)\s+L4 (\+?[-\d.]+%)", b9)
+    if m:
+        subs["F9_L2"], subs["F9_L3"], subs["F9_L4"] = m.groups()
+
+    f11 = avg_row(section(text, "fig11_table_size"))
+    if len(f11) == 5:
+        subs.update(zip(["F11_2M", "F11_512K", "F11_256K", "F11_128K",
+                         "F11_64K"], f11))
+
+    f12 = avg_row(section(text, "fig12_recal_frequency"))
+    if len(f12) == 7:
+        subs.update(zip(["F12_1", "F12_10K", "F12_100K", "F12_1M", "F12_10M",
+                         "F12_100M", "F12_INF"], f12))
+
+    f13 = avg_row(section(text, "fig13_inclusion_policy"))
+    if len(f13) == 3:
+        subs.update(zip(["F13_INCL", "F13_HYBRID", "F13_EXCL"], f13))
+
+    b14 = section(text, "fig14_15_prefetch")
+    perf = avg_row(b14, "Figure 14")
+    energy = avg_row(b14, "Figure 15")
+    if len(perf) == 3:
+        subs.update(zip(["F14_SP", "F14_RED", "F14_BOTH"], perf))
+    if len(energy) == 3:
+        subs.update(zip(["F15_SP", "F15_RED", "F15_BOTH"], energy))
+
+    missing = set(re.findall(r"\{([A-Z0-9_]+)\}", md)) - set(subs)
+    for key, val in subs.items():
+        md = md.replace("{" + key + "}", val)
+    open(md_path, "w").write(md)
+    print(f"substituted {len(subs)} values; unresolved: {sorted(missing)}")
+
+
+if __name__ == "__main__":
+    main()

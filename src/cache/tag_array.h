@@ -1,0 +1,109 @@
+// Set-associative tag array — the structural model of one cache level.
+//
+// The array tracks only presence (tags + valid bits + a per-line
+// "prefetched" mark used by the prefetcher accounting); data contents are
+// never modeled, matching the paper's methodology where memory is a perfect
+// data store.  All timing and energy accounting lives in the simulator — the
+// TagArray reports *events*, it does not price them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "cache/geometry.h"
+#include "common/types.h"
+
+namespace redhip {
+
+class TagArray {
+ public:
+  struct LookupResult {
+    bool hit = false;
+    std::uint32_t way = 0;
+    bool was_prefetched = false;  // set on the first demand hit to a
+                                  // prefetched line (the mark is consumed)
+  };
+
+  struct FillResult {
+    bool evicted = false;
+    LineAddr victim = 0;
+    bool victim_was_prefetched = false;  // victim evicted with mark intact
+                                         // (i.e. a useless prefetch)
+    bool victim_was_dirty = false;       // eviction requires a writeback
+  };
+
+  // `seed` only matters for ReplacementKind::kRandom.
+  explicit TagArray(const CacheGeometry& geom, std::uint64_t seed = 0);
+
+  // Probe for `line`; on a hit, promotes it in the replacement order and
+  // consumes its prefetched mark.  `is_write` marks the line dirty.
+  LookupResult lookup(LineAddr line, bool is_write = false);
+
+  // Probe without any state change (used by the Oracle predictor and by
+  // invariant checks).
+  bool contains(LineAddr line) const;
+
+  // Insert `line`; evicts a victim if the set is full.  `prefetched` marks
+  // lines installed by the prefetcher rather than a demand access; `dirty`
+  // installs the line already modified (write-allocate of a write miss, or
+  // a dirty victim cascading down an exclusive hierarchy).
+  // Pre-condition: the line is not already present (checked in debug).
+  FillResult fill(LineAddr line, bool prefetched = false, bool dirty = false);
+
+  // Remove `line` if present; returns true when it was.  `was_dirty`, if
+  // non-null, reports whether the removed copy needed a writeback.
+  bool invalidate(LineAddr line, bool* was_dirty = nullptr);
+
+  // --- Geometry and introspection -----------------------------------------
+  const CacheGeometry& geometry() const { return geom_; }
+  std::uint64_t sets() const { return sets_; }
+  std::uint32_t ways() const { return geom_.ways; }
+  std::uint64_t set_of(LineAddr line) const { return line & set_mask_; }
+  std::uint64_t bank_of(std::uint64_t set) const { return set & bank_mask_; }
+
+  // Iterate the valid lines of one set (used by ReDHiP recalibration, which
+  // reads the tag array set-by-set).
+  void for_each_valid_in_set(std::uint64_t set,
+                             const std::function<void(LineAddr)>& fn) const;
+  // Iterate every valid line in the array.
+  void for_each_valid(const std::function<void(LineAddr)>& fn) const;
+
+  std::uint64_t valid_count() const { return valid_count_; }
+  std::uint64_t valid_count_in_set(std::uint64_t set) const;
+
+  // Whether the resident copy of `line` is dirty (false if absent).
+  bool is_dirty(LineAddr line) const;
+  // Mark a resident line dirty without touching the replacement order
+  // (receiving a writeback is not a use).  Returns false if absent.
+  bool mark_dirty(LineAddr line);
+
+ private:
+  struct Entry {
+    std::uint64_t tag = 0;
+    bool valid = false;
+    bool prefetched = false;
+    bool dirty = false;
+  };
+
+  std::uint64_t tag_of(LineAddr line) const { return line >> set_bits_; }
+  LineAddr line_of(std::uint64_t set, std::uint64_t tag) const {
+    return (tag << set_bits_) | set;
+  }
+  Entry* set_begin(std::uint64_t set) { return &entries_[set * geom_.ways]; }
+  const Entry* set_begin(std::uint64_t set) const {
+    return &entries_[set * geom_.ways];
+  }
+
+  CacheGeometry geom_;
+  std::uint64_t sets_;
+  std::uint32_t set_bits_;
+  std::uint64_t set_mask_;
+  std::uint64_t bank_mask_;
+  std::vector<Entry> entries_;
+  std::unique_ptr<ReplacementPolicy> repl_;
+  std::uint64_t valid_count_ = 0;
+};
+
+}  // namespace redhip

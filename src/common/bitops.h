@@ -1,0 +1,52 @@
+// Bit-manipulation helpers used by hash functions, tag arrays and the
+// prediction table.  All of these are thin wrappers over <bit> with the
+// checking we want at configuration time.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace redhip {
+
+constexpr bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+// log2 of a power of two; checked.
+inline std::uint32_t log2_exact(std::uint64_t v) {
+  REDHIP_CHECK_MSG(is_pow2(v), "value must be a power of two");
+  return static_cast<std::uint32_t>(std::countr_zero(v));
+}
+
+constexpr std::uint32_t log2_floor(std::uint64_t v) {
+  return v == 0 ? 0 : 63u - static_cast<std::uint32_t>(std::countl_zero(v));
+}
+
+constexpr std::uint64_t round_up_pow2(std::uint64_t v) {
+  return v <= 1 ? 1 : std::uint64_t{1} << (64 - std::countl_zero(v - 1));
+}
+
+// Mask of the n lowest bits (n in [0, 64]).
+constexpr std::uint64_t low_mask(std::uint32_t n) {
+  return n >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << n) - 1;
+}
+
+// Extract bits [lo, lo+n) of v.
+constexpr std::uint64_t bits(std::uint64_t v, std::uint32_t lo, std::uint32_t n) {
+  return (v >> lo) & low_mask(n);
+}
+
+// Fold a 64-bit value down to `width` bits by repeated XOR of width-sized
+// chunks — the "xor-hash" of the CBF literature.
+inline std::uint64_t xor_fold(std::uint64_t v, std::uint32_t width) {
+  REDHIP_CHECK(width > 0 && width <= 64);
+  if (width >= 64) return v;
+  std::uint64_t h = 0;
+  while (v != 0) {
+    h ^= v & low_mask(width);
+    v >>= width;
+  }
+  return h;
+}
+
+}  // namespace redhip

@@ -1,0 +1,43 @@
+// Lightweight runtime checking.
+//
+// REDHIP_CHECK is always on (configuration validation, invariants whose cost
+// is negligible).  REDHIP_DCHECK compiles away in NDEBUG builds and guards
+// per-access invariants on the simulator hot path (e.g. "a ReDHiP bypass
+// never hides a resident line").
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace redhip::internal {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace redhip::internal
+
+#define REDHIP_CHECK(expr)                                              \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::redhip::internal::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define REDHIP_CHECK_MSG(expr, msg)                                      \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::redhip::internal::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define REDHIP_DCHECK(expr) \
+  do {                      \
+  } while (0)
+#else
+#define REDHIP_DCHECK(expr) REDHIP_CHECK(expr)
+#endif

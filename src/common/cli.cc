@@ -1,0 +1,75 @@
+#include "common/cli.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace redhip {
+namespace {
+
+std::string to_env_name(const std::string& prefix, const std::string& name) {
+  std::string out = prefix;
+  for (char c : name) {
+    out += (c == '-') ? '_' : static_cast<char>(std::toupper(c));
+  }
+  return out;
+}
+
+}  // namespace
+
+CliOptions::CliOptions(int argc, char** argv) {
+  program_ = argc > 0 ? argv[0] : "";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "1";  // bare flag
+    }
+  }
+}
+
+std::string CliOptions::get(const std::string& name,
+                            const std::string& def) const {
+  auto it = values_.find(name);
+  if (it != values_.end()) return it->second;
+  if (const char* env = std::getenv(to_env_name(env_prefix_, name).c_str())) {
+    return env;
+  }
+  return def;
+}
+
+std::int64_t CliOptions::get_int(const std::string& name,
+                                 std::int64_t def) const {
+  std::string v = get(name, "");
+  if (v.empty()) return def;
+  return std::stoll(v);
+}
+
+double CliOptions::get_double(const std::string& name, double def) const {
+  std::string v = get(name, "");
+  if (v.empty()) return def;
+  return std::stod(v);
+}
+
+bool CliOptions::get_bool(const std::string& name, bool def) const {
+  std::string v = get(name, "");
+  if (v.empty()) return def;
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+bool CliOptions::has(const std::string& name) const {
+  if (values_.count(name)) return true;
+  return std::getenv(to_env_name(env_prefix_, name).c_str()) != nullptr;
+}
+
+}  // namespace redhip

@@ -1,0 +1,37 @@
+// Minimal command-line / environment option parsing shared by the bench
+// binaries and examples.  Supports `--name value`, `--name=value` and
+// `--flag`, plus environment fallbacks (`REDHIP_BENCH_SCALE=4 fig06_...`).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace redhip {
+
+class CliOptions {
+ public:
+  CliOptions(int argc, char** argv);
+
+  // Value lookup order: command line, then environment variable
+  // `env_prefix + UPPERCASE(name)`, then the supplied default.
+  std::string get(const std::string& name, const std::string& def) const;
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def) const;
+  bool has(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+  void set_env_prefix(std::string prefix) { env_prefix_ = std::move(prefix); }
+
+ private:
+  std::string program_;
+  std::string env_prefix_ = "REDHIP_BENCH_";
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace redhip

@@ -1,0 +1,17 @@
+#include "common/rng.h"
+
+namespace redhip {
+
+std::uint64_t Xoshiro256::burst(std::uint64_t mean, std::uint64_t max) {
+  REDHIP_DCHECK(mean > 0 && max > 0);
+  if (mean >= max) return max;
+  // Geometric with success probability 1/mean, truncated to [1, max].
+  // Implemented by coin flips at ppm precision to stay integer-exact.
+  const std::uint32_t stop_ppm =
+      static_cast<std::uint32_t>(1'000'000 / mean);
+  std::uint64_t len = 1;
+  while (len < max && !chance_ppm(stop_ppm == 0 ? 1 : stop_ppm)) ++len;
+  return len;
+}
+
+}  // namespace redhip

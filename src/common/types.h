@@ -1,0 +1,34 @@
+// Core scalar types shared by every module.
+//
+// Addresses are full 64-bit byte addresses; a `LineAddr` is the byte address
+// shifted right by the block-offset width (i.e. a cache-line number).  All
+// cycle counts are absolute 64-bit counters; at 3.7 GHz a uint64_t lasts
+// ~158 years of simulated time, so overflow is not a practical concern.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace redhip {
+
+using Addr = std::uint64_t;      // byte address
+using LineAddr = std::uint64_t;  // byte address >> log2(line size)
+using Cycles = std::uint64_t;
+using CoreId = std::uint32_t;
+
+// The paper fixes 64-byte blocks throughout (Fig. 3: "assuming 64-bytes
+// block size").  We keep it configurable in CacheGeometry but default here.
+inline constexpr std::uint32_t kDefaultLineBytes = 64;
+inline constexpr std::uint32_t kDefaultLineShift = 6;
+
+inline constexpr std::uint64_t operator""_KiB(unsigned long long v) {
+  return v << 10;
+}
+inline constexpr std::uint64_t operator""_MiB(unsigned long long v) {
+  return v << 20;
+}
+inline constexpr std::uint64_t operator""_GiB(unsigned long long v) {
+  return v << 30;
+}
+
+}  // namespace redhip

@@ -1,0 +1,41 @@
+// Per-array timing/energy parameters (the paper's Table I rows).
+//
+// Every cache level carries a tag/data split.  For small caches (L1, L2) the
+// paper publishes a single access delay and energy — those levels model
+// tag_* = 0 and put the whole cost in data_*; the split only matters for the
+// levels Phased Cache serializes (L3, L4).  A "parallel" access costs
+// max(tag_delay, data_delay) cycles and tag+data energy; a phased access
+// costs tag first and data only on a hit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace redhip {
+
+struct LevelEnergyParams {
+  std::string name;
+  Cycles tag_delay = 0;
+  Cycles data_delay = 0;
+  double tag_energy_nj = 0.0;
+  double data_energy_nj = 0.0;
+  double leakage_w = 0.0;
+
+  Cycles parallel_delay() const {
+    return tag_delay > data_delay ? tag_delay : data_delay;
+  }
+  double parallel_energy_nj() const { return tag_energy_nj + data_energy_nj; }
+};
+
+struct PredictorEnergyParams {
+  Cycles access_delay = 1;
+  Cycles wire_delay = 5;
+  double access_energy_nj = 0.02;
+  double leakage_w = 0.005;  // not published in Table I; small by design
+
+  Cycles total_delay() const { return access_delay + wire_delay; }
+};
+
+}  // namespace redhip

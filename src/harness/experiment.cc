@@ -1,0 +1,67 @@
+#include "harness/experiment.h"
+
+#include "common/check.h"
+#include "harness/thread_pool.h"
+
+namespace redhip {
+
+ExperimentOptions ExperimentOptions::parse(const CliOptions& cli) {
+  ExperimentOptions o;
+  o.scale = static_cast<std::uint32_t>(cli.get_int("scale", 8));
+  o.refs_per_core =
+      static_cast<std::uint64_t>(cli.get_int("refs", 1'000'000));
+  o.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  o.csv = cli.get_bool("csv", false);
+  o.jobs = static_cast<std::size_t>(cli.get_int("jobs", 0));
+  const std::string bench = cli.get("bench", "");
+  if (bench.empty()) {
+    o.benches = all_benchmarks();
+  } else {
+    for (BenchmarkId id : all_benchmarks()) {
+      if (to_string(id) == bench) o.benches.push_back(id);
+    }
+    REDHIP_CHECK_MSG(!o.benches.empty(), "unknown benchmark: " + bench);
+  }
+  return o;
+}
+
+std::vector<std::vector<SimResult>> run_matrix(
+    const ExperimentOptions& opts, const std::vector<SchemeColumn>& columns) {
+  std::vector<std::vector<SimResult>> results(
+      opts.benches.size(), std::vector<SimResult>(columns.size()));
+  std::vector<std::function<void()>> tasks;
+  for (std::size_t b = 0; b < opts.benches.size(); ++b) {
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      tasks.push_back([&, b, c] {
+        RunSpec spec;
+        spec.bench = opts.benches[b];
+        spec.scheme = columns[c].scheme;
+        spec.inclusion = columns[c].inclusion;
+        spec.prefetch = columns[c].prefetch;
+        spec.scale = opts.scale;
+        spec.refs_per_core = opts.refs_per_core;
+        spec.seed = opts.seed;
+        spec.tweak = columns[c].tweak;
+        results[b][c] = run_spec(spec);
+      });
+    }
+  }
+  ThreadPool::run_all(std::move(tasks), opts.jobs);
+  return results;
+}
+
+double mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+std::vector<std::string> benchmark_row_labels(const ExperimentOptions& opts) {
+  std::vector<std::string> labels;
+  for (BenchmarkId id : opts.benches) labels.push_back(to_string(id));
+  labels.push_back("average");
+  return labels;
+}
+
+}  // namespace redhip

@@ -1,0 +1,51 @@
+// Experiment plumbing shared by the bench binaries: option parsing, a
+// (benchmark x scheme-column) run matrix executed on a thread pool, and
+// small aggregation helpers for the "average" row every paper figure has.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "harness/run.h"
+
+namespace redhip {
+
+struct ExperimentOptions {
+  std::uint32_t scale = 8;
+  std::uint64_t refs_per_core = 1'000'000;
+  std::uint64_t seed = 42;
+  bool csv = false;
+  std::size_t jobs = 0;  // 0 = hardware concurrency
+  std::vector<BenchmarkId> benches;
+
+  // Parses --scale/--refs/--seed/--csv/--jobs/--bench (or the
+  // REDHIP_BENCH_* environment equivalents).  --bench limits the workload
+  // list to one named benchmark.
+  static ExperimentOptions parse(const CliOptions& cli);
+};
+
+// One column of a figure: a scheme variant applied to every workload.
+struct SchemeColumn {
+  std::string label;
+  Scheme scheme = Scheme::kBase;
+  InclusionPolicy inclusion = InclusionPolicy::kInclusive;
+  bool prefetch = false;
+  std::function<void(HierarchyConfig&)> tweak;
+};
+
+// Run every (benchmark, column) pair; result[b][c] corresponds to
+// opts.benches[b] under columns[c].  Runs execute concurrently on a thread
+// pool; each individual run is single-threaded and deterministic, so the
+// matrix is reproducible regardless of the pool size.
+std::vector<std::vector<SimResult>> run_matrix(
+    const ExperimentOptions& opts, const std::vector<SchemeColumn>& columns);
+
+// Arithmetic mean (the paper's "average" bars).
+double mean(const std::vector<double>& v);
+
+// Standard figure header: benchmark names in the paper's order + "average".
+std::vector<std::string> benchmark_row_labels(const ExperimentOptions& opts);
+
+}  // namespace redhip

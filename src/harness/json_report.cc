@@ -1,0 +1,183 @@
+#include "harness/json_report.h"
+
+#include <sstream>
+
+namespace redhip {
+namespace {
+
+// Minimal streaming JSON writer: objects and arrays with comma management.
+class JsonWriter {
+ public:
+  void begin_object() {
+    comma();
+    os_ << '{';
+    first_ = true;
+  }
+  void end_object() {
+    os_ << '}';
+    first_ = false;
+  }
+  void begin_array(const std::string& key) {
+    this->key(key);
+    os_ << '[';
+    first_ = true;
+  }
+  void end_array() {
+    os_ << ']';
+    first_ = false;
+  }
+  void key(const std::string& k) {
+    comma();
+    os_ << '"' << k << "\":";
+    first_ = true;  // the value follows without a comma
+  }
+  void value(std::uint64_t v) {
+    comma();
+    os_ << v;
+  }
+  void value(double v) {
+    comma();
+    os_ << v;
+  }
+  std::string str() const { return os_.str(); }
+
+ private:
+  void comma() {
+    if (!first_) os_ << ',';
+    first_ = false;
+  }
+  std::ostringstream os_;
+  bool first_ = true;
+};
+
+void write_level(JsonWriter& w, const LevelEvents& ev) {
+  w.begin_object();
+  w.key("accesses");
+  w.value(ev.accesses);
+  w.key("hits");
+  w.value(ev.hits);
+  w.key("misses");
+  w.value(ev.misses);
+  w.key("tag_probes");
+  w.value(ev.tag_probes);
+  w.key("data_probes");
+  w.value(ev.data_probes);
+  w.key("fills");
+  w.value(ev.fills);
+  w.key("evictions");
+  w.value(ev.evictions);
+  w.key("invalidations");
+  w.value(ev.invalidations);
+  w.key("writebacks");
+  w.value(ev.writebacks);
+  w.key("skipped");
+  w.value(ev.skipped);
+  w.end_object();
+}
+
+}  // namespace
+
+std::string to_json(const SimResult& r) {
+  JsonWriter w;
+  w.begin_object();
+
+  w.key("total_refs");
+  w.value(r.total_refs);
+  w.key("exec_cycles");
+  w.value(r.exec_cycles);
+  w.key("total_core_cycles");
+  w.value(r.total_core_cycles);
+  w.key("elapsed_seconds");
+  w.value(r.elapsed_seconds);
+  w.key("recal_stall_cycles");
+  w.value(r.recal_stall_cycles);
+  w.key("memory_accesses");
+  w.value(r.memory_accesses);
+  w.key("demand_memory_accesses");
+  w.value(r.demand_memory_accesses);
+  w.key("memory_writebacks");
+  w.value(r.memory_writebacks);
+  w.key("predictor_disabled_refs");
+  w.value(r.predictor_disabled_refs);
+
+  w.begin_array("levels");
+  for (const auto& lvl : r.levels) write_level(w, lvl);
+  w.end_array();
+
+  w.key("predictor");
+  w.begin_object();
+  w.key("lookups");
+  w.value(r.predictor.lookups);
+  w.key("updates");
+  w.value(r.predictor.updates);
+  w.key("predicted_absent");
+  w.value(r.predictor.predicted_absent);
+  w.key("predicted_present");
+  w.value(r.predictor.predicted_present);
+  w.key("true_positives");
+  w.value(r.predictor.true_positives);
+  w.key("false_positives");
+  w.value(r.predictor.false_positives);
+  w.key("recalibrations");
+  w.value(r.predictor.recalibrations);
+  w.key("recal_sets_read");
+  w.value(r.predictor.recal_sets_read);
+  w.end_object();
+
+  w.key("prefetch");
+  w.begin_object();
+  w.key("issued");
+  w.value(r.prefetch.issued);
+  w.key("useful");
+  w.value(r.prefetch.useful);
+  w.key("useless");
+  w.value(r.prefetch.useless);
+  w.key("redundant");
+  w.value(r.prefetch.redundant);
+  w.end_object();
+
+  w.key("energy_j");
+  w.begin_object();
+  w.begin_array("level_dynamic");
+  for (double v : r.energy.level_dynamic_j) w.value(v);
+  w.end_array();
+  w.key("predictor_dynamic");
+  w.value(r.energy.predictor_dynamic_j);
+  w.key("recalibration");
+  w.value(r.energy.recalibration_j);
+  w.key("prefetcher");
+  w.value(r.energy.prefetcher_j);
+  w.key("memory");
+  w.value(r.energy.memory_j);
+  w.key("leakage");
+  w.value(r.energy.leakage_j);
+  w.key("dynamic_total");
+  w.value(r.energy.dynamic_total_j());
+  w.key("total");
+  w.value(r.energy.total_j());
+  w.end_object();
+
+  w.begin_array("core_cycles");
+  for (Cycles c : r.core_cycles) w.value(c);
+  w.end_array();
+
+  w.end_object();
+  return w.str();
+}
+
+std::string to_json(const Comparison& c) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("speedup");
+  w.value(c.speedup);
+  w.key("dyn_energy_ratio");
+  w.value(c.dyn_energy_ratio);
+  w.key("total_energy_ratio");
+  w.value(c.total_energy_ratio);
+  w.key("perf_energy_metric");
+  w.value(c.perf_energy_metric);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace redhip

@@ -1,0 +1,19 @@
+// JSON serialization of simulation results — the machine-readable side of
+// the reporting layer, for plotting pipelines and regression tooling.
+// Hand-rolled (no dependency), emitting stable key order.
+#pragma once
+
+#include <string>
+
+#include "harness/run.h"
+
+namespace redhip {
+
+// Full result dump: per-level events, predictor/prefetch counters, timing
+// and the priced energy breakdown.
+std::string to_json(const SimResult& result);
+
+// A scheme-vs-base comparison.
+std::string to_json(const Comparison& comparison);
+
+}  // namespace redhip

@@ -1,0 +1,79 @@
+#include "harness/report.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace redhip {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  REDHIP_CHECK(!headers_.empty());
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  REDHIP_CHECK_MSG(cells.size() == headers_.size(),
+                   "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    width[i] = headers_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (row[i].size() > width[i]) width[i] = row[i].size();
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i == 0) {
+        std::printf("%-*s", static_cast<int>(width[i]), row[i].c_str());
+      } else {
+        std::printf("  %*s", static_cast<int>(width[i]), row[i].c_str());
+      }
+    }
+    std::printf("\n");
+  };
+  print_row(headers_);
+  std::size_t rule = 0;
+  for (std::size_t i = 0; i < width.size(); ++i) {
+    rule += width[i] + (i == 0 ? 0 : 2);
+  }
+  for (std::size_t i = 0; i < rule; ++i) std::printf("-");
+  std::printf("\n");
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TablePrinter::print_csv() const {
+  auto print_row = [](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      std::printf("%s%s", i == 0 ? "" : ",", row[i].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(headers_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string pct_delta(double ratio) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%", (ratio - 1.0) * 100.0);
+  return buf;
+}
+
+std::string pct(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100.0);
+  return buf;
+}
+
+std::string fixed(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+}  // namespace redhip

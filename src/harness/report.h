@@ -1,0 +1,35 @@
+// Reporting helpers: aligned text tables (the benches print the same rows
+// the paper's figures plot) and optional CSV emission for plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace redhip {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  // Render to stdout with aligned columns (first column left-aligned, the
+  // rest right-aligned) and a rule under the header.
+  void print() const;
+  // Render as CSV to stdout.
+  void print_csv() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// "+8.3%" / "-2.1%" from a ratio (1.083 -> "+8.3%").
+std::string pct_delta(double ratio);
+// "61.2%" from a fraction.
+std::string pct(double fraction);
+// Fixed-point with `digits` decimals.
+std::string fixed(double v, int digits);
+
+}  // namespace redhip

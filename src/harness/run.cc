@@ -1,0 +1,43 @@
+#include "harness/run.h"
+
+#include "common/check.h"
+
+namespace redhip {
+
+SimResult run_spec(const RunSpec& spec) {
+  HierarchyConfig config =
+      HierarchyConfig::scaled(spec.scale, spec.scheme, spec.inclusion);
+  config.prefetch = spec.prefetch;
+  config.seed = spec.seed;
+  if (spec.tweak) spec.tweak(config);
+
+  std::vector<std::unique_ptr<TraceSource>> traces;
+  std::vector<std::uint32_t> cpis;
+  for (CoreId c = 0; c < config.cores; ++c) {
+    traces.push_back(make_workload(spec.bench, c, spec.scale, spec.seed));
+    cpis.push_back(workload_cpi_centi(spec.bench, c));
+  }
+  MulticoreSimulator sim(config, std::move(traces), std::move(cpis));
+  return sim.run(spec.refs_per_core);
+}
+
+Comparison compare(const SimResult& base, const SimResult& x) {
+  REDHIP_CHECK(base.exec_cycles > 0 && x.exec_cycles > 0);
+  Comparison c;
+  // Multiprogrammed performance: aggregate core time (average per-core
+  // speedup), not the slowest core — one unlucky core would otherwise mask
+  // the mean improvement the paper reports.
+  c.speedup = static_cast<double>(base.total_core_cycles) /
+              static_cast<double>(x.total_core_cycles);
+  const double base_dyn = base.energy.dynamic_total_j();
+  const double x_dyn = x.energy.dynamic_total_j();
+  c.dyn_energy_ratio = base_dyn > 0.0 ? x_dyn / base_dyn : 1.0;
+  const double base_total = base.energy.total_j();
+  const double x_total = x.energy.total_j();
+  c.total_energy_ratio = base_total > 0.0 ? x_total / base_total : 1.0;
+  c.perf_energy_metric =
+      c.speedup * (x_total > 0.0 ? base_total / x_total : 1.0);
+  return c;
+}
+
+}  // namespace redhip

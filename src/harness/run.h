@@ -1,0 +1,40 @@
+// RunSpec / run_spec — one simulated configuration, end to end.
+//
+// This is the layer the benches and examples drive: name a workload, a
+// scheme, an inclusion policy and a scale, get back a priced SimResult.
+// `tweak` lets sweeps adjust any HierarchyConfig field (PT size,
+// recalibration interval, memory latency, ...) before the run.
+#pragma once
+
+#include <functional>
+
+#include "sim/simulator.h"
+#include "trace/workloads.h"
+
+namespace redhip {
+
+struct RunSpec {
+  BenchmarkId bench = BenchmarkId::kBwaves;
+  Scheme scheme = Scheme::kBase;
+  InclusionPolicy inclusion = InclusionPolicy::kInclusive;
+  std::uint32_t scale = 8;         // hierarchy + working-set divisor
+  std::uint64_t refs_per_core = 1'000'000;
+  bool prefetch = false;
+  std::uint64_t seed = 42;
+  std::function<void(HierarchyConfig&)> tweak;
+};
+
+// Build the machine and the per-core traces for `spec` and run it.
+SimResult run_spec(const RunSpec& spec);
+
+// Derived paper metrics of scheme X against the Base run of the same
+// workload.
+struct Comparison {
+  double speedup = 1.0;             // T_base / T_x  (1.08 = +8%)
+  double dyn_energy_ratio = 1.0;    // E_dyn_x / E_dyn_base
+  double total_energy_ratio = 1.0;  // E_total_x / E_total_base
+  double perf_energy_metric = 1.0;  // speedup x (E_total_base / E_total_x)
+};
+Comparison compare(const SimResult& base, const SimResult& x);
+
+}  // namespace redhip

@@ -1,0 +1,46 @@
+// A small work-queue thread pool used by the experiment harness to run
+// independent simulations concurrently (each simulation is single-threaded
+// and deterministic; parallelism across runs never changes results).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace redhip {
+
+class ThreadPool {
+ public:
+  // 0 = std::thread::hardware_concurrency() (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void submit(std::function<void()> task);
+  // Block until every submitted task has finished.
+  void wait_idle();
+
+  std::size_t size() const { return workers_.size(); }
+
+  // Convenience: run `tasks` to completion on a fresh pool.
+  static void run_all(std::vector<std::function<void()>> tasks,
+                      std::size_t threads = 0);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace redhip

@@ -1,0 +1,3 @@
+#include "predict/oracle.h"
+
+// OraclePredictor is header-only; this translation unit anchors the library.

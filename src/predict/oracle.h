@@ -1,0 +1,36 @@
+// OraclePredictor — the evaluation's upper bound.
+//
+// Answers presence queries by peeking directly at the covered tag array,
+// with zero latency and zero energy (its lookups are counted but priced at
+// zero by giving it a zero-cost parameter set).  Note the paper's framing:
+// the Oracle is *not* "ReDHiP with constant recalibration" — a 1-bit table
+// is inherently lossy because multiple lines alias one bit, and the Oracle
+// has no aliasing at all.
+#pragma once
+
+#include "predict/predictor.h"
+
+namespace redhip {
+
+class OraclePredictor final : public LlcPredictor {
+ public:
+  // `covered` must outlive the predictor.
+  explicit OraclePredictor(const TagArray* covered) : covered_(covered) {
+    REDHIP_CHECK(covered != nullptr);
+  }
+
+  Prediction query(LineAddr line) override {
+    // Lookups deliberately not charged: the Oracle has "no overhead".
+    return covered_->contains(line) ? Prediction::kPresent
+                                    : Prediction::kAbsent;
+  }
+  void on_fill(LineAddr) override {}
+  void on_evict(LineAddr) override {}
+  Cycles lookup_delay() const override { return 0; }
+  std::string name() const override { return "Oracle"; }
+
+ private:
+  const TagArray* covered_;
+};
+
+}  // namespace redhip

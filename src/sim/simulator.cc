@@ -1,0 +1,672 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "energy/cacti_lite.h"
+#include "predict/counting_bloom.h"
+#include "predict/oracle.h"
+#include "predict/partial_tag.h"
+
+namespace redhip {
+
+MulticoreSimulator::MulticoreSimulator(
+    const HierarchyConfig& config,
+    std::vector<std::unique_ptr<TraceSource>> traces,
+    std::vector<std::uint32_t> cpi_centi)
+    : config_(config) {
+  config_.validate();
+  REDHIP_CHECK_MSG(traces.size() == config_.cores, "one trace per core");
+  REDHIP_CHECK_MSG(cpi_centi.size() == config_.cores, "one CPI per core");
+
+  SplitMix64 seeder(config_.seed);
+  const std::uint32_t n = config_.num_levels();
+  private_.resize(n - 1);
+  for (std::uint32_t lvl = 0; lvl + 1 < n; ++lvl) {
+    private_[lvl].reserve(config_.cores);
+    for (CoreId c = 0; c < config_.cores; ++c) {
+      private_[lvl].emplace_back(config_.levels[lvl].geom, seeder.next());
+    }
+  }
+  shared_ = std::make_unique<TagArray>(config_.levels[n - 1].geom,
+                                       seeder.next());
+  events_.resize(n);
+
+  // Predictors.
+  if (config_.inclusion == InclusionPolicy::kExclusive) {
+    if (config_.scheme == Scheme::kRedhip) {
+      excl_pred_.resize(n - 1);
+      for (std::uint32_t lvl = 1; lvl + 1 < n; ++lvl) {
+        const RedhipConfig rc =
+            config_.redhip_for_size(config_.levels[lvl].geom.size_bytes);
+        for (CoreId c = 0; c < config_.cores; ++c) {
+          excl_pred_[lvl].push_back(std::make_unique<RedhipTable>(rc));
+          excl_pred_[lvl].back()->attach_covered(&private_[lvl][c]);
+          predictor_leakage_w_ += rc.energy.leakage_w;
+        }
+      }
+      excl_shared_pred_ = std::make_unique<RedhipTable>(config_.redhip);
+      excl_shared_pred_->attach_covered(shared_.get());
+      predictor_leakage_w_ += config_.redhip.energy.leakage_w;
+    } else if (config_.scheme == Scheme::kOracle) {
+      // Exclusive Oracle peeks at every level directly in the access path;
+      // no structures needed.
+    }
+  } else {
+    switch (config_.scheme) {
+      case Scheme::kRedhip: {
+        auto table = std::make_unique<RedhipTable>(config_.redhip);
+        table->attach_covered(shared_.get());
+        llc_pred_ = std::move(table);
+        predictor_leakage_w_ = config_.redhip.energy.leakage_w;
+        break;
+      }
+      case Scheme::kCbf:
+        llc_pred_ = std::make_unique<CountingBloomFilter>(config_.cbf);
+        predictor_leakage_w_ = config_.cbf.energy.leakage_w;
+        break;
+      case Scheme::kOracle:
+        llc_pred_ = std::make_unique<OraclePredictor>(shared_.get());
+        break;
+      case Scheme::kPartialTag: {
+        const auto& g = config_.llc().geom;
+        llc_pred_ = std::make_unique<PartialTagPredictor>(
+            config_.partial_tag, g.sets(), g.ways, g.set_bits());
+        predictor_leakage_w_ = config_.partial_tag.energy.leakage_w;
+        break;
+      }
+      case Scheme::kBase:
+      case Scheme::kPhased:
+        break;
+    }
+  }
+
+  if (config_.prefetch) {
+    for (CoreId c = 0; c < config_.cores; ++c) {
+      prefetchers_.push_back(
+          std::make_unique<StridePrefetcher>(config_.prefetcher));
+    }
+  }
+
+  for (CoreId c = 0; c < config_.cores; ++c) {
+    cores_.push_back(CoreState{std::move(traces[c]),
+                               CpiAccumulator(cpi_centi[c])});
+  }
+}
+
+TagArray& MulticoreSimulator::level_array(std::uint32_t level, CoreId core) {
+  return is_shared(level) ? *shared_ : private_[level][core];
+}
+
+const TagArray& MulticoreSimulator::level_array(std::uint32_t level,
+                                                CoreId core) const {
+  return is_shared(level) ? *shared_ : private_[level][core];
+}
+
+// ----------------------------------------------------------- event recording
+
+MulticoreSimulator::ProbeOutcome MulticoreSimulator::probe(std::uint32_t lvl,
+                                                           CoreId core,
+                                                           LineAddr line,
+                                                           bool is_write) {
+  TagArray& arr = level_array(lvl, core);
+  const LevelSpec& spec = config_.levels[lvl];
+  LevelEvents& ev = events_[lvl];
+
+  ++ev.accesses;
+  ProbeOutcome out;
+  // Writes dirty the L1 copy (write-allocate, writeback policy).
+  const TagArray::LookupResult r =
+      arr.lookup(line, is_write && lvl == 0 && config_.model_writebacks);
+  out.hit = r.hit;
+  out.was_prefetched = r.was_prefetched;
+  if (spec.phased) {
+    ++ev.tag_probes;
+    out.latency = spec.energy.tag_delay;
+    if (r.hit) {
+      ++ev.data_probes;
+      out.latency += spec.energy.data_delay;
+    }
+  } else {
+    // Parallel access reads both arrays (both priced), but a *miss* is known
+    // at tag-compare time — the discarded data read costs energy, not
+    // latency.  Small caches fold tag timing into the single access number.
+    ++ev.tag_probes;
+    ++ev.data_probes;
+    const Cycles miss_delay = spec.energy.tag_delay > 0
+                                  ? spec.energy.tag_delay
+                                  : spec.energy.data_delay;
+    out.latency = r.hit ? spec.energy.parallel_delay() : miss_delay;
+  }
+  if (r.hit) {
+    ++ev.hits;
+  } else {
+    ++ev.misses;
+  }
+  if (r.was_prefetched && !prefetchers_.empty()) ++prefetch_events_.useful;
+  return out;
+}
+
+void MulticoreSimulator::note_writeback(std::uint32_t lvl, CoreId core,
+                                        LineAddr victim) {
+  if (!config_.model_writebacks) return;
+  if (is_shared(lvl)) {
+    ++memory_writebacks_;
+    return;
+  }
+  // The inclusive level below holds a copy; it absorbs the dirty data.
+  ++events_[lvl + 1].writebacks;
+  level_array(lvl + 1, core).mark_dirty(victim);
+}
+
+void MulticoreSimulator::fill_at(std::uint32_t lvl, CoreId core, LineAddr line,
+                                 bool prefetched, bool dirty) {
+  TagArray& arr = level_array(lvl, core);
+  if (arr.contains(line)) {
+    if (dirty) arr.mark_dirty(line);  // a prefetch raced the demand write
+    return;
+  }
+  LevelEvents& ev = events_[lvl];
+  const TagArray::FillResult r = arr.fill(line, prefetched, dirty);
+  ++ev.fills;
+  // Eviction is reported before the fill: predictors that mirror the cache
+  // exactly (the partial-tag baseline) must see the victim leave before the
+  // newcomer arrives, or their per-set occupancy transiently overflows.
+  if (r.evicted && is_shared(lvl) && llc_pred_) {
+    llc_pred_->on_evict(r.victim);
+  }
+  if (is_shared(lvl) && llc_pred_) llc_pred_->on_fill(line);
+  if (!r.evicted) return;
+
+  ++ev.evictions;
+  if (r.victim_was_prefetched && !prefetchers_.empty()) {
+    ++prefetch_events_.useless;
+  }
+  if (r.victim_was_dirty) note_writeback(lvl, core, r.victim);
+  if (is_shared(lvl)) {
+    // Inclusive LLC (both the inclusive and hybrid policies): the victim
+    // must leave every private cache.
+    back_invalidate_all_cores(lvl, r.victim);
+  } else if (config_.inclusion == InclusionPolicy::kInclusive) {
+    // Private levels are inclusive of the levels above them.
+    back_invalidate_core(lvl, core, r.victim);
+  }
+}
+
+void MulticoreSimulator::back_invalidate_all_cores(std::uint32_t below_level,
+                                                   LineAddr victim) {
+  for (CoreId c = 0; c < config_.cores; ++c) {
+    back_invalidate_core(below_level, c, victim);
+  }
+}
+
+void MulticoreSimulator::back_invalidate_core(std::uint32_t below_level,
+                                              CoreId core, LineAddr victim) {
+  // Directory-precise: only actual residents are touched, and only
+  // successful invalidations are charged (one tag write each).  A dirty
+  // upper copy purged by level `below_level`'s eviction writes back to the
+  // level below that eviction (which still holds the line) — or to memory
+  // when it was the LLC evicting.
+  for (std::uint32_t lvl = 0; lvl < below_level; ++lvl) {
+    bool was_dirty = false;
+    if (level_array(lvl, core).invalidate(victim, &was_dirty)) {
+      ++events_[lvl].invalidations;
+      if (was_dirty && config_.model_writebacks) {
+        if (below_level + 1 < config_.num_levels()) {
+          ++events_[below_level + 1].writebacks;
+          level_array(below_level + 1, core).mark_dirty(victim);
+        } else {
+          ++memory_writebacks_;
+        }
+      }
+    }
+  }
+}
+
+void MulticoreSimulator::insert_with_cascade(std::uint32_t lvl, CoreId core,
+                                             LineAddr line,
+                                             std::uint32_t last_level,
+                                             bool dirty) {
+  LineAddr incoming = line;
+  bool incoming_dirty = dirty && config_.model_writebacks;
+  for (std::uint32_t l = lvl; l <= last_level; ++l) {
+    TagArray& arr = level_array(l, core);
+    REDHIP_DCHECK(!arr.contains(incoming));
+    const TagArray::FillResult r = arr.fill(incoming, false, incoming_dirty);
+    ++events_[l].fills;
+    if (l >= 1 && config_.inclusion == InclusionPolicy::kExclusive &&
+        config_.scheme == Scheme::kRedhip) {
+      RedhipTable* t =
+          is_shared(l) ? excl_shared_pred_.get() : excl_pred_[l][core].get();
+      t->on_fill(incoming);
+    }
+    if (!r.evicted) return;
+    ++events_[l].evictions;
+    incoming = r.victim;  // the victim moves down one level, dirt and all
+    incoming_dirty = r.victim_was_dirty;
+  }
+  // Victim of the last level is dropped (exclusive LLC — a dirty drop goes
+  // to memory) or already covered by the inclusive LLC (hybrid chain, where
+  // the LLC copy absorbs the dirty data).
+  if (incoming_dirty && config_.model_writebacks) {
+    if (last_level + 1 == config_.num_levels()) {
+      ++memory_writebacks_;
+    } else {
+      ++events_[last_level + 1].writebacks;
+      level_array(last_level + 1, core).mark_dirty(incoming);
+    }
+  }
+}
+
+// ------------------------------------------------------- predictor plumbing
+
+Prediction MulticoreSimulator::query_llc_predictor(LineAddr line,
+                                                   Cycles& latency) {
+  if (!llc_pred_ || !predictor_active_) return Prediction::kPresent;
+  const Prediction p = llc_pred_->query(line);
+  latency += llc_pred_->lookup_delay();
+  if (p == Prediction::kAbsent) {
+    ++llc_pred_->events().predicted_absent;
+  } else {
+    ++llc_pred_->events().predicted_present;
+  }
+  return p;
+}
+
+void MulticoreSimulator::note_l1_miss() {
+  if (!predictor_active_) return;  // gated off: recalibration paused too
+  Cycles stall = 0;
+  if (config_.inclusion == InclusionPolicy::kExclusive) {
+    if (config_.scheme != Scheme::kRedhip) return;
+    const std::uint64_t interval = config_.redhip.recal_interval_l1_misses;
+    if (interval == 0) return;
+    if (++excl_l1_misses_ < interval) return;
+    excl_l1_misses_ = 0;
+    // All tables recalibrate concurrently against their own tag arrays; the
+    // stall is the slowest one (the LLC table).
+    for (std::uint32_t lvl = 1; lvl + 1 < config_.num_levels(); ++lvl) {
+      for (CoreId c = 0; c < config_.cores; ++c) {
+        stall = std::max(stall,
+                         excl_pred_[lvl][c]->recalibrate(private_[lvl][c]));
+      }
+    }
+    stall = std::max(stall, excl_shared_pred_->recalibrate(*shared_));
+  } else {
+    if (!llc_pred_) return;
+    stall = llc_pred_->note_l1_miss_and_maybe_recalibrate(*shared_);
+  }
+  if (stall == 0) return;
+  recal_stall_cycles_ += stall;
+  for (auto& cs : cores_) cs.clock += stall;
+}
+
+void MulticoreSimulator::evaluate_auto_disable() {
+  const auto& ad = config_.auto_disable;
+  epoch_refs_seen_ = 0;
+
+  if (!predictor_active_) {
+    if (--disabled_epochs_left_ > 0) return;
+    // Probe epoch: re-enable; the table is stale after the pause, so pay
+    // for one full recalibration up front.
+    predictor_active_ = true;
+    if (auto* t = dynamic_cast<RedhipTable*>(llc_pred_.get())) {
+      const Cycles stall = t->recalibrate(*shared_);
+      recal_stall_cycles_ += stall;
+      for (auto& cs : cores_) cs.clock += stall;
+    }
+  } else {
+    const std::uint64_t misses = events_[0].misses - epoch_start_misses_;
+    const std::uint64_t lookups =
+        llc_pred_->events().lookups - epoch_start_lookups_;
+    const std::uint64_t absents =
+        llc_pred_->events().predicted_absent - epoch_start_absents_;
+    const std::uint64_t miss_ppm = misses * 1'000'000 / ad.epoch_refs;
+    const std::uint64_t bypass_ppm =
+        lookups == 0 ? 0 : absents * 1'000'000 / lookups;
+    const bool useless =
+        miss_ppm < ad.min_l1_miss_ppm || bypass_ppm < ad.min_bypass_ppm;
+    if (useless) {
+      predictor_active_ = false;
+      disabled_epochs_left_ = disable_backoff_;
+      disable_backoff_ = std::min(disable_backoff_ * 2, ad.max_backoff_epochs);
+    } else {
+      disable_backoff_ = 1;
+    }
+  }
+  epoch_start_misses_ = events_[0].misses;
+  epoch_start_lookups_ = llc_pred_->events().lookups;
+  epoch_start_absents_ = llc_pred_->events().predicted_absent;
+}
+
+// ------------------------------------------------------------- access paths
+
+Cycles MulticoreSimulator::access(CoreId core, const MemRef& ref) {
+  const LineAddr line = ref.addr >> config_.levels[0].geom.line_shift();
+  const bool is_write = ref.is_write;
+  Cycles lat;
+  switch (config_.inclusion) {
+    case InclusionPolicy::kInclusive:
+      lat = access_inclusive(core, line, is_write);
+      break;
+    case InclusionPolicy::kHybrid:
+      lat = access_hybrid(core, line, is_write);
+      break;
+    case InclusionPolicy::kExclusive:
+      lat = access_exclusive(core, line, is_write);
+      break;
+    default:
+      lat = 0;
+      break;
+  }
+  return lat;
+}
+
+Cycles MulticoreSimulator::access_inclusive(CoreId core, LineAddr line,
+                                            bool is_write) {
+  const std::uint32_t n = config_.num_levels();
+  const bool dirty = is_write && config_.model_writebacks;
+  ProbeOutcome l1 = probe(0, core, line, is_write);
+  Cycles lat = l1.latency;
+  if (l1.hit) return lat;
+
+  note_l1_miss();
+  const Prediction p = query_llc_predictor(line, lat);
+  if (p == Prediction::kAbsent) {
+    // The core guarantee: a bypass may never hide on-chip data.
+    REDHIP_DCHECK(!shared_->contains(line));
+    for (std::uint32_t lvl = 1; lvl < n; ++lvl) ++events_[lvl].skipped;
+    lat += config_.memory_latency;
+    ++memory_accesses_;
+    ++demand_memory_accesses_;
+    for (std::uint32_t lvl = n; lvl-- > 0;) {
+      fill_at(lvl, core, line, false, dirty && lvl == 0);
+    }
+    return lat;
+  }
+
+  for (std::uint32_t lvl = 1; lvl < n; ++lvl) {
+    const ProbeOutcome o = probe(lvl, core, line);
+    lat += o.latency;
+    if (o.hit) {
+      if (llc_pred_) ++llc_pred_->events().true_positives;
+      for (std::uint32_t l = lvl; l-- > 0;) {
+        fill_at(l, core, line, false, dirty && l == 0);
+      }
+      return lat;
+    }
+  }
+  if (llc_pred_) ++llc_pred_->events().false_positives;
+  lat += config_.memory_latency;
+  ++memory_accesses_;
+  ++demand_memory_accesses_;
+  for (std::uint32_t lvl = n; lvl-- > 0;) {
+    fill_at(lvl, core, line, false, dirty && lvl == 0);
+  }
+  return lat;
+}
+
+Cycles MulticoreSimulator::access_hybrid(CoreId core, LineAddr line,
+                                         bool is_write) {
+  const std::uint32_t n = config_.num_levels();
+  const bool dirty = is_write && config_.model_writebacks;
+  ProbeOutcome l1 = probe(0, core, line, is_write);
+  Cycles lat = l1.latency;
+  if (l1.hit) return lat;
+
+  note_l1_miss();
+  const Prediction p = query_llc_predictor(line, lat);
+  if (p == Prediction::kAbsent) {
+    REDHIP_DCHECK(!shared_->contains(line));
+    for (std::uint32_t lvl = 1; lvl < n; ++lvl) ++events_[lvl].skipped;
+    lat += config_.memory_latency;
+    ++memory_accesses_;
+    ++demand_memory_accesses_;
+    fill_at(n - 1, core, line, false);                // inclusive LLC copy
+    insert_with_cascade(0, core, line, n - 2, dirty); // private chain
+    return lat;
+  }
+
+  for (std::uint32_t lvl = 1; lvl < n; ++lvl) {
+    const ProbeOutcome o = probe(lvl, core, line);
+    lat += o.latency;
+    if (!o.hit) continue;
+    if (llc_pred_) ++llc_pred_->events().true_positives;
+    bool was_dirty = false;
+    if (!is_shared(lvl)) {
+      // Move (not copy) out of the exclusive private level.
+      level_array(lvl, core).invalidate(line, &was_dirty);
+      ++events_[lvl].invalidations;
+    }
+    insert_with_cascade(0, core, line, n - 2, dirty || was_dirty);
+    return lat;
+  }
+  if (llc_pred_) ++llc_pred_->events().false_positives;
+  lat += config_.memory_latency;
+  ++memory_accesses_;
+  ++demand_memory_accesses_;
+  fill_at(n - 1, core, line, false);
+  insert_with_cascade(0, core, line, n - 2, dirty);
+  return lat;
+}
+
+Cycles MulticoreSimulator::access_exclusive(CoreId core, LineAddr line,
+                                            bool is_write) {
+  const std::uint32_t n = config_.num_levels();
+  const bool dirty = is_write && config_.model_writebacks;
+  ProbeOutcome l1 = probe(0, core, line, is_write);
+  Cycles lat = l1.latency;
+  if (l1.hit) return lat;
+
+  note_l1_miss();
+
+  // Per-level predictions, gathered up front (the paper queries all tables
+  // simultaneously on the L1 miss, one table-access latency total).
+  bool predicted[16];
+  const bool redhip = config_.scheme == Scheme::kRedhip;
+  const bool oracle = config_.scheme == Scheme::kOracle;
+  for (std::uint32_t lvl = 1; lvl < n; ++lvl) {
+    if (redhip) {
+      RedhipTable* t =
+          is_shared(lvl) ? excl_shared_pred_.get() : excl_pred_[lvl][core].get();
+      const Prediction pr = t->query(line);
+      predicted[lvl] = pr == Prediction::kPresent;
+      if (pr == Prediction::kAbsent) {
+        ++t->events().predicted_absent;
+      } else {
+        ++t->events().predicted_present;
+      }
+    } else if (oracle) {
+      predicted[lvl] = level_array(lvl, core).contains(line);
+    } else {
+      predicted[lvl] = true;
+    }
+  }
+  if (redhip) lat += config_.redhip.energy.total_delay();
+
+  for (std::uint32_t lvl = 1; lvl < n; ++lvl) {
+    if (!predicted[lvl]) {
+      REDHIP_DCHECK(!level_array(lvl, core).contains(line));
+      ++events_[lvl].skipped;
+      continue;
+    }
+    const ProbeOutcome o = probe(lvl, core, line);
+    lat += o.latency;
+    if (redhip) {
+      RedhipTable* t =
+          is_shared(lvl) ? excl_shared_pred_.get() : excl_pred_[lvl][core].get();
+      if (o.hit) {
+        ++t->events().true_positives;
+      } else {
+        ++t->events().false_positives;
+      }
+    }
+    if (o.hit) {
+      // Exclusive move to L1; victims cascade down, the LLC victim drops.
+      bool was_dirty = false;
+      level_array(lvl, core).invalidate(line, &was_dirty);
+      ++events_[lvl].invalidations;
+      insert_with_cascade(0, core, line, n - 1, dirty || was_dirty);
+      return lat;
+    }
+  }
+  lat += config_.memory_latency;
+  ++memory_accesses_;
+  ++demand_memory_accesses_;
+  insert_with_cascade(0, core, line, n - 1, dirty);
+  return lat;
+}
+
+// ------------------------------------------------------------------ prefetch
+
+void MulticoreSimulator::run_prefetches(CoreId core, const MemRef& ref) {
+  prefetch_queue_.clear();
+  prefetchers_[core]->observe(ref.pc, ref.addr, prefetch_queue_);
+  const std::uint32_t n = config_.num_levels();
+  PrefetchEvents& pev = prefetch_events_;
+
+  for (const LineAddr q : prefetch_queue_) {
+    // Filter against the near caches (one small tag probe).
+    ++events_[1].tag_probes;
+    if (level_array(0, core).contains(q) || level_array(1, core).contains(q)) {
+      ++pev.redundant;
+      continue;
+    }
+    ++pev.issued;
+
+    // When combined with ReDHiP the prefetch probe consults the PT first and
+    // skips the doomed L3/L4 lookups — this is how ReDHiP "offsets the
+    // energy overhead of prefetching" (paper §V-C).
+    bool go_to_memory = false;
+    std::uint32_t found_lvl = 0;
+    if (llc_pred_) {
+      Cycles ignored = 0;
+      if (query_llc_predictor(q, ignored) == Prediction::kAbsent) {
+        REDHIP_DCHECK(!shared_->contains(q));
+        go_to_memory = true;
+      }
+    }
+    if (!go_to_memory) {
+      for (std::uint32_t lvl = 2; lvl < n; ++lvl) {
+        ++events_[lvl].tag_probes;  // prefetch probes are tag-only until hit
+        if (level_array(lvl, core).contains(q)) {
+          ++events_[lvl].data_probes;  // read the line to copy it upward
+          found_lvl = lvl;
+          break;
+        }
+      }
+      if (found_lvl == 0) go_to_memory = true;
+      if (llc_pred_ && found_lvl != 0) ++llc_pred_->events().true_positives;
+      if (llc_pred_ && found_lvl == 0) ++llc_pred_->events().false_positives;
+    }
+    if (go_to_memory) {
+      ++memory_accesses_;
+      found_lvl = n;  // fill every level below L2
+    }
+    // Install downward-first to keep inclusion, down to L2 (not L1: the
+    // prefetcher sits beside L2).  Only the L2 copy carries the mark used
+    // for useful/useless accounting.
+    for (std::uint32_t lvl = found_lvl; lvl-- > 1;) {
+      fill_at(lvl, core, q, /*prefetched=*/lvl == 1);
+    }
+  }
+}
+
+// ----------------------------------------------------------------- main loop
+
+Cycles MulticoreSimulator::access_for_test(CoreId core, const MemRef& ref) {
+  const std::uint64_t misses_before = events_[0].misses;
+  const Cycles lat = access(core, ref);
+  if (!prefetchers_.empty() && events_[0].misses != misses_before) {
+    run_prefetches(core, ref);
+  }
+  return lat;
+}
+
+SimResult MulticoreSimulator::run(std::uint64_t max_refs_per_core) {
+  REDHIP_CHECK_MSG(!ran_, "a simulator instance runs once");
+  ran_ = true;
+
+  std::uint64_t active = 0;
+  for (auto& cs : cores_) {
+    cs.exhausted = max_refs_per_core == 0;
+    if (!cs.exhausted) ++active;
+  }
+
+  while (active > 0) {
+    // Deterministic min-clock interleave, ties broken by core id.
+    CoreId best = 0;
+    Cycles best_clock = ~Cycles{0};
+    for (CoreId c = 0; c < config_.cores; ++c) {
+      if (!cores_[c].exhausted && cores_[c].clock < best_clock) {
+        best = c;
+        best_clock = cores_[c].clock;
+      }
+    }
+    CoreState& cs = cores_[best];
+    MemRef ref;
+    if (!cs.trace->next(ref)) {
+      cs.exhausted = true;
+      --active;
+      continue;
+    }
+    cs.clock += cs.cpi.advance(ref.gap);
+    const std::uint64_t misses_before = events_[0].misses;
+    cs.clock += access(best, ref);
+    if (!prefetchers_.empty() && events_[0].misses != misses_before) {
+      run_prefetches(best, ref);
+    }
+    if (config_.auto_disable.enabled && llc_pred_) {
+      if (!predictor_active_) ++predictor_disabled_refs_;
+      if (++epoch_refs_seen_ >= config_.auto_disable.epoch_refs) {
+        evaluate_auto_disable();
+      }
+    }
+    if (++cs.refs_done >= max_refs_per_core) {
+      cs.exhausted = true;
+      --active;
+    }
+  }
+
+  SimResult r;
+  r.levels = events_;
+  if (llc_pred_) {
+    r.predictor = llc_pred_->events();
+  }
+  for (const auto& per_core : excl_pred_) {
+    for (const auto& t : per_core) {
+      if (t) r.predictor += t->events();
+    }
+  }
+  if (excl_shared_pred_) r.predictor += excl_shared_pred_->events();
+  r.prefetch = prefetch_events_;
+  for (const auto& pf : prefetchers_) r.prefetch += pf->events();
+  r.memory_accesses = memory_accesses_;
+  r.demand_memory_accesses = demand_memory_accesses_;
+  r.memory_writebacks = memory_writebacks_;
+  r.recal_stall_cycles = recal_stall_cycles_;
+  r.predictor_disabled_refs = predictor_disabled_refs_;
+  for (const auto& cs : cores_) {
+    r.core_cycles.push_back(cs.clock);
+    r.exec_cycles = std::max(r.exec_cycles, cs.clock);
+    r.total_core_cycles += cs.clock;
+    r.total_refs += cs.refs_done;
+  }
+  r.elapsed_seconds =
+      static_cast<double>(r.exec_cycles) / (config_.freq_ghz * 1e9);
+
+  std::vector<LevelEnergyParams> level_params;
+  for (const auto& lvl : config_.levels) level_params.push_back(lvl.energy);
+  const PredictorEnergyParams pred_params = config_.scheme == Scheme::kCbf
+                                                ? config_.cbf.energy
+                                                : config_.redhip.energy;
+  EnergyLedger ledger(std::move(level_params), pred_params, config_.cores,
+                      /*shared_last_level=*/true,
+                      config_.charge_fill_energy);
+  r.energy = ledger.price(r.levels, r.predictor, r.prefetch,
+                          r.memory_accesses + r.memory_writebacks,
+                          config_.memory_energy_nj, r.elapsed_seconds,
+                          predictor_leakage_w_);
+  return r;
+}
+
+}  // namespace redhip

@@ -1,0 +1,149 @@
+// MulticoreSimulator — the trace-driven engine.
+//
+// Matches the paper's methodology: per-core in-order execution, non-memory
+// instructions charged at the application's average CPI (integer
+// fixed-point, see common/fixed_point.h), memory references walked through
+// the hierarchy with additive serial latencies, and a deterministic
+// min-clock interleave across cores so the shared LLC sees a realistic and
+// reproducible arrival order.  All timing and energy events are recorded as
+// integer counters and priced once at the end by the EnergyLedger.
+//
+// One simulator instance = one run (it owns the tag arrays and predictors);
+// construct a fresh one per configuration.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/tag_array.h"
+#include "common/fixed_point.h"
+#include "predict/predictor.h"
+#include "prefetch/stride_prefetcher.h"
+#include "sim/config.h"
+#include "sim/stats.h"
+#include "trace/mem_ref.h"
+
+namespace redhip {
+
+class MulticoreSimulator {
+ public:
+  // `traces[c]` feeds core c; `cpi_centi[c]` prices its non-memory gaps.
+  MulticoreSimulator(const HierarchyConfig& config,
+                     std::vector<std::unique_ptr<TraceSource>> traces,
+                     std::vector<std::uint32_t> cpi_centi);
+
+  // Run until every core has executed `max_refs_per_core` references (or its
+  // trace ended).  Returns the priced result.  May be called once.
+  SimResult run(std::uint64_t max_refs_per_core);
+
+  // --- Single-access hooks used by unit tests --------------------------------
+  // Execute one reference on one core and return its latency.
+  Cycles access_for_test(CoreId core, const MemRef& ref);
+  const TagArray& level_array_for_test(std::uint32_t level,
+                                       CoreId core) const {
+    return level_array(level, core);
+  }
+  const LlcPredictor* llc_predictor_for_test() const { return llc_pred_.get(); }
+  const HierarchyConfig& config() const { return config_; }
+
+ private:
+  struct CoreState {
+    std::unique_ptr<TraceSource> trace;
+    CpiAccumulator cpi;
+    Cycles clock = 0;
+    std::uint64_t refs_done = 0;
+    bool exhausted = false;
+  };
+
+  TagArray& level_array(std::uint32_t level, CoreId core);
+  const TagArray& level_array(std::uint32_t level, CoreId core) const;
+  bool is_shared(std::uint32_t level) const {
+    return level + 1 == config_.num_levels();
+  }
+
+  // --- Event recording -------------------------------------------------------
+  // Probe level `lvl` for core `core`; records tag/data probe events and the
+  // hit/miss counters, returns (hit, latency).
+  struct ProbeOutcome {
+    bool hit = false;
+    Cycles latency = 0;
+    bool was_prefetched = false;
+  };
+  // `is_write` only matters at L1, where a write hit dirties the line.
+  ProbeOutcome probe(std::uint32_t lvl, CoreId core, LineAddr line,
+                     bool is_write = false);
+
+  // Install `line` at `lvl`, handling eviction fallout for the configured
+  // inclusion policy (back-invalidation, predictor on_evict, prefetch and
+  // writeback accounting).  `dirty` installs the line already modified.
+  void fill_at(std::uint32_t lvl, CoreId core, LineAddr line, bool prefetched,
+               bool dirty = false);
+  // Dirty-eviction bookkeeping for a victim leaving `lvl`.
+  void note_writeback(std::uint32_t lvl, CoreId core, LineAddr victim);
+  // Remove an LLC victim from every private level (inclusive/hybrid).
+  void back_invalidate_all_cores(std::uint32_t below_level, LineAddr victim);
+  void back_invalidate_core(std::uint32_t below_level, CoreId core,
+                            LineAddr victim);
+
+  // Exclusive/hybrid: insert at `lvl` and cascade the victim downward; the
+  // cascade stops before `stop_level` (exclusive: past the LLC, victims are
+  // dropped; hybrid: private victims stop at L3 since the LLC keeps a copy).
+  void insert_with_cascade(std::uint32_t lvl, CoreId core, LineAddr line,
+                           std::uint32_t last_level, bool dirty = false);
+
+  // --- Access paths per inclusion policy -------------------------------------
+  Cycles access(CoreId core, const MemRef& ref);
+  Cycles access_inclusive(CoreId core, LineAddr line, bool is_write);
+  Cycles access_hybrid(CoreId core, LineAddr line, bool is_write);
+  Cycles access_exclusive(CoreId core, LineAddr line, bool is_write);
+
+  // Predictor bookkeeping shared by the access paths.
+  Prediction query_llc_predictor(LineAddr line, Cycles& latency);
+  void note_l1_miss();
+  // Auto-disable (paper §IV): epoch evaluation of predictor usefulness.
+  void evaluate_auto_disable();
+
+  // Prefetch handling (inclusive only).
+  void run_prefetches(CoreId core, const MemRef& ref);
+
+  HierarchyConfig config_;
+  std::vector<CoreState> cores_;
+  // private_[lvl][core] for lvl 0..N-2; shared LLC separate.
+  std::vector<std::vector<TagArray>> private_;
+  std::unique_ptr<TagArray> shared_;
+
+  // Inclusive/hybrid: one predictor over the shared LLC.
+  std::unique_ptr<LlcPredictor> llc_pred_;
+  // Exclusive: per-level predictors — excl_pred_[lvl][core] for private
+  // levels (lvl 1..N-2), excl_shared_pred_ for the LLC.
+  std::vector<std::vector<std::unique_ptr<RedhipTable>>> excl_pred_;
+  std::unique_ptr<RedhipTable> excl_shared_pred_;
+  std::uint64_t excl_l1_misses_ = 0;
+  double predictor_leakage_w_ = 0.0;
+
+  // One prefetcher per core, as in hardware (a shared table would alias
+  // same-PC streams from different cores and never lock onto a stride).
+  std::vector<std::unique_ptr<StridePrefetcher>> prefetchers_;
+  std::vector<LineAddr> prefetch_queue_;
+
+  // Auto-disable state (inclusive/hybrid only).
+  bool predictor_active_ = true;
+  std::uint64_t epoch_refs_seen_ = 0;
+  std::uint64_t epoch_start_misses_ = 0;
+  std::uint64_t epoch_start_lookups_ = 0;
+  std::uint64_t epoch_start_absents_ = 0;
+  std::uint32_t disable_backoff_ = 1;
+  std::uint32_t disabled_epochs_left_ = 0;
+  std::uint64_t predictor_disabled_refs_ = 0;
+
+  std::vector<LevelEvents> events_;
+  PrefetchEvents prefetch_events_;  // simulator-level prefetch accounting
+  std::uint64_t memory_accesses_ = 0;
+  std::uint64_t demand_memory_accesses_ = 0;
+  std::uint64_t memory_writebacks_ = 0;
+  Cycles recal_stall_cycles_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace redhip

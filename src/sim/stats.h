@@ -1,0 +1,51 @@
+// SimResult — everything one simulation run produces.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "energy/ledger.h"
+
+namespace redhip {
+
+struct SimResult {
+  // Per-level events aggregated over all cores (index 0 = L1).
+  std::vector<LevelEvents> levels;
+  PredictorEvents predictor;  // summed over all prediction tables
+  PrefetchEvents prefetch;
+  std::uint64_t memory_accesses = 0;         // demand + prefetch fetches
+  std::uint64_t demand_memory_accesses = 0;  // demand fetches only
+  std::uint64_t memory_writebacks = 0;       // dirty LLC victims (if modeled)
+
+  std::vector<Cycles> core_cycles;
+  Cycles exec_cycles = 0;  // max over cores — the run's wall time
+  // Sum over cores; the basis of the multiprogrammed performance metric
+  // (average per-core speedup), which is robust to one unlucky core.
+  Cycles total_core_cycles = 0;
+  Cycles recal_stall_cycles = 0;
+  std::uint64_t total_refs = 0;
+  // References executed while the predictor was auto-disabled (§IV).
+  std::uint64_t predictor_disabled_refs = 0;
+  double elapsed_seconds = 0.0;
+
+  EnergyBreakdown energy;
+
+  double hit_rate(std::size_t level) const {
+    const auto& ev = levels.at(level);
+    return ev.accesses == 0
+               ? 0.0
+               : static_cast<double>(ev.hits) /
+                     static_cast<double>(ev.accesses);
+  }
+  double l1_miss_rate() const { return 1.0 - hit_rate(0); }
+  // Fraction of L1 misses that missed the whole hierarchy.
+  double offchip_fraction() const {
+    const std::uint64_t m = levels.front().misses;
+    return m == 0 ? 0.0
+                  : static_cast<double>(demand_memory_accesses) /
+                        static_cast<double>(m);
+  }
+};
+
+}  // namespace redhip

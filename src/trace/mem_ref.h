@@ -1,0 +1,56 @@
+// MemRef and TraceSource — the interface between workloads and simulator.
+//
+// A trace record carries what the paper's pintool collected: the data
+// address, whether it is a write, the instruction address (needed only by
+// the PC-indexed stride prefetcher), and the number of non-memory
+// instructions executed since the previous memory reference (charged at the
+// application's average CPI).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+
+namespace redhip {
+
+struct MemRef {
+  Addr addr = 0;
+  std::uint32_t pc = 0;
+  std::uint16_t gap = 0;  // non-memory instructions before this reference
+  bool is_write = false;
+
+  bool operator==(const MemRef&) const = default;
+};
+
+// A stream of memory references.  Sources may be finite (file traces) or
+// unbounded (synthetic generators); the simulator bounds every run by a
+// reference count, so `next` returning false simply ends that core early.
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+  virtual bool next(MemRef& out) = 0;
+};
+
+// In-memory trace; the unit tests' workhorse.
+class VectorTraceSource final : public TraceSource {
+ public:
+  explicit VectorTraceSource(std::vector<MemRef> refs)
+      : refs_(std::move(refs)) {}
+
+  bool next(MemRef& out) override {
+    if (pos_ >= refs_.size()) return false;
+    out = refs_[pos_++];
+    return true;
+  }
+
+  void rewind() { pos_ = 0; }
+  std::size_t size() const { return refs_.size(); }
+
+ private:
+  std::vector<MemRef> refs_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace redhip

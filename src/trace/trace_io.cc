@@ -1,0 +1,83 @@
+#include "trace/trace_io.h"
+
+#include <cstring>
+
+#include "common/check.h"
+
+namespace redhip {
+namespace {
+
+struct PackedRecord {
+  std::uint64_t addr;
+  std::uint32_t pc;
+  std::uint16_t gap;
+  std::uint16_t flags;
+};
+static_assert(sizeof(PackedRecord) == 16, "record must pack to 16 bytes");
+
+constexpr std::uint64_t kHeaderBytes = 24;
+
+}  // namespace
+
+TraceWriter::TraceWriter(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "wb");
+  REDHIP_CHECK_MSG(file_ != nullptr, "cannot open trace for writing: " + path);
+  char header[kHeaderBytes] = {};
+  std::memcpy(header, kTraceMagic, sizeof(kTraceMagic));
+  REDHIP_CHECK(std::fwrite(header, 1, kHeaderBytes, file_) == kHeaderBytes);
+}
+
+TraceWriter::~TraceWriter() {
+  try {
+    finish();
+  } catch (...) {
+    // Destructor must not throw; the file is left closed but the header
+    // count may be stale.  Callers who care should call finish() directly.
+  }
+}
+
+void TraceWriter::append(const MemRef& ref) {
+  REDHIP_CHECK_MSG(!finished_, "append after finish");
+  PackedRecord rec{ref.addr, ref.pc, ref.gap,
+                   static_cast<std::uint16_t>(ref.is_write ? 1 : 0)};
+  REDHIP_CHECK(std::fwrite(&rec, sizeof(rec), 1, file_) == 1);
+  ++count_;
+}
+
+void TraceWriter::finish() {
+  if (finished_) return;
+  finished_ = true;
+  REDHIP_CHECK(std::fseek(file_, sizeof(kTraceMagic), SEEK_SET) == 0);
+  REDHIP_CHECK(std::fwrite(&count_, sizeof(count_), 1, file_) == 1);
+  std::fclose(file_);
+  file_ = nullptr;
+}
+
+FileTraceSource::FileTraceSource(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "rb");
+  REDHIP_CHECK_MSG(file_ != nullptr, "cannot open trace: " + path);
+  char header[kHeaderBytes];
+  REDHIP_CHECK_MSG(std::fread(header, 1, kHeaderBytes, file_) == kHeaderBytes,
+                   "truncated trace header: " + path);
+  REDHIP_CHECK_MSG(std::memcmp(header, kTraceMagic, sizeof(kTraceMagic)) == 0,
+                   "bad trace magic: " + path);
+  std::memcpy(&total_, header + sizeof(kTraceMagic), sizeof(total_));
+}
+
+FileTraceSource::~FileTraceSource() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+bool FileTraceSource::next(MemRef& out) {
+  if (read_ >= total_) return false;
+  PackedRecord rec;
+  if (std::fread(&rec, sizeof(rec), 1, file_) != 1) return false;
+  ++read_;
+  out.addr = rec.addr;
+  out.pc = rec.pc;
+  out.gap = rec.gap;
+  out.is_write = (rec.flags & 1) != 0;
+  return true;
+}
+
+}  // namespace redhip

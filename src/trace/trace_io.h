@@ -1,0 +1,60 @@
+// Binary trace file format — the drop-in path for real (e.g. Pin) traces.
+//
+// Layout: a fixed 24-byte header followed by packed 16-byte records.
+//   header:  magic "REDHIPT1" (8) | record_count u64 | reserved u64
+//   record:  addr u64 | pc u32 | gap u16 | flags u16   (bit 0: write)
+// All fields little-endian.  The writer and reader are deliberately simple
+// streaming classes; a converter from a pintool's output is a ~20-line loop
+// over TraceWriter::append.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "trace/mem_ref.h"
+
+namespace redhip {
+
+inline constexpr char kTraceMagic[8] = {'R', 'E', 'D', 'H', 'I', 'P', 'T', '1'};
+
+class TraceWriter {
+ public:
+  explicit TraceWriter(const std::string& path);
+  ~TraceWriter();
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  void append(const MemRef& ref);
+  // Flushes the record count into the header and closes the file.  Called
+  // by the destructor if not called explicitly; explicit calls can throw on
+  // I/O errors, the destructor swallows them.
+  void finish();
+
+  std::uint64_t records_written() const { return count_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::uint64_t count_ = 0;
+  bool finished_ = false;
+};
+
+class FileTraceSource final : public TraceSource {
+ public:
+  explicit FileTraceSource(const std::string& path);
+  ~FileTraceSource() override;
+  FileTraceSource(const FileTraceSource&) = delete;
+  FileTraceSource& operator=(const FileTraceSource&) = delete;
+
+  bool next(MemRef& out) override;
+
+  std::uint64_t record_count() const { return total_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::uint64_t total_ = 0;
+  std::uint64_t read_ = 0;
+};
+
+}  // namespace redhip

@@ -1,0 +1,162 @@
+// Tests for the text config-file loader.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "harness/config_file.h"
+
+namespace redhip {
+namespace {
+
+const char* kTableIText = R"(
+# Table I, full size
+cores = 8
+freq_ghz = 3.7
+scheme = redhip
+inclusion = inclusive
+
+[level]
+size = 32K
+ways = 4
+
+[level]
+size = 256K
+ways = 8
+
+[level]
+size = 4M
+ways = 16
+banks = 4
+split_tags = true
+
+[level]
+size = 64M
+ways = 16
+banks = 8
+split_tags = true
+
+[redhip]
+table_bits = 4M
+recal_interval = 1000000
+recal_mode = rolling
+banks = 4
+)";
+
+TEST(ConfigFile, ParsesTheTableIMachine) {
+  const HierarchyConfig c = parse_config_text(kTableIText);
+  EXPECT_EQ(c.cores, 8u);
+  EXPECT_DOUBLE_EQ(c.freq_ghz, 3.7);
+  EXPECT_EQ(c.scheme, Scheme::kRedhip);
+  ASSERT_EQ(c.num_levels(), 4u);
+  EXPECT_EQ(c.levels[0].geom.size_bytes, 32_KiB);
+  EXPECT_EQ(c.levels[3].geom.size_bytes, 64_MiB);
+  EXPECT_EQ(c.levels[3].geom.banks, 8u);
+  EXPECT_EQ(c.redhip.table_bits, 4u * 1024 * 1024);
+  EXPECT_EQ(c.redhip.recal_mode, RecalMode::kRolling);
+  // Energy derivation happened: exact Table I numbers at the anchors.
+  EXPECT_DOUBLE_EQ(c.levels[0].energy.data_energy_nj, 0.0144);
+  EXPECT_DOUBLE_EQ(c.levels[3].energy.tag_energy_nj, 1.171);
+}
+
+TEST(ConfigFile, MatchesTheBuiltinFactory) {
+  const HierarchyConfig parsed = parse_config_text(kTableIText);
+  const HierarchyConfig built = HierarchyConfig::paper(Scheme::kRedhip);
+  ASSERT_EQ(parsed.num_levels(), built.num_levels());
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(parsed.levels[i].geom.size_bytes,
+              built.levels[i].geom.size_bytes);
+    EXPECT_EQ(parsed.levels[i].geom.ways, built.levels[i].geom.ways);
+    EXPECT_DOUBLE_EQ(parsed.levels[i].energy.data_energy_nj,
+                     built.levels[i].energy.data_energy_nj);
+  }
+  EXPECT_EQ(parsed.redhip.table_bits, built.redhip.table_bits);
+}
+
+TEST(ConfigFile, SizeSuffixes) {
+  const HierarchyConfig c = parse_config_text(R"(
+[level]
+size = 2048
+ways = 2
+[level]
+size = 1M
+ways = 4
+)");
+  EXPECT_EQ(c.levels[0].geom.size_bytes, 2048u);
+  EXPECT_EQ(c.levels[1].geom.size_bytes, 1_MiB);
+}
+
+TEST(ConfigFile, CommentsAndWhitespaceIgnored) {
+  const HierarchyConfig c = parse_config_text(
+      "  cores =  4   # four cores\n"
+      "[level]\n size=8K # tiny\n ways = 2\n"
+      "[level]\nsize = 64K\nways = 4\n");
+  EXPECT_EQ(c.cores, 4u);
+  EXPECT_EQ(c.num_levels(), 2u);
+}
+
+TEST(ConfigFile, UnknownKeysAreErrorsWithLineNumbers) {
+  try {
+    parse_config_text("cores = 8\nwibble = 3\n");
+    FAIL() << "should have thrown";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("wibble"), std::string::npos);
+  }
+}
+
+TEST(ConfigFile, RejectsBadValuesAndSections) {
+  EXPECT_THROW(parse_config_text("[nonsense]\n"), std::logic_error);
+  EXPECT_THROW(parse_config_text("scheme = warp-drive\n[level]\nsize=8K\n"),
+               std::logic_error);
+  EXPECT_THROW(parse_config_text("cores\n"), std::logic_error);
+  EXPECT_THROW(parse_config_text("cores = 8\n"), std::logic_error)
+      << "a machine with no levels must not validate";
+}
+
+TEST(ConfigFile, ValidationStillApplies) {
+  // p <= k must be rejected just like a programmatic config.
+  EXPECT_THROW(parse_config_text(R"(
+scheme = redhip
+[level]
+size = 8K
+ways = 2
+[level]
+size = 64M
+ways = 16
+[redhip]
+table_bits = 1K
+)"),
+               std::logic_error);
+}
+
+TEST(ConfigFile, RoundTripsThroughText) {
+  const HierarchyConfig original = HierarchyConfig::scaled(8, Scheme::kCbf);
+  const std::string text = config_to_text(original);
+  const HierarchyConfig reparsed = parse_config_text(text);
+  EXPECT_EQ(reparsed.cores, original.cores);
+  EXPECT_EQ(reparsed.scheme, original.scheme);
+  ASSERT_EQ(reparsed.num_levels(), original.num_levels());
+  for (std::uint32_t i = 0; i < original.num_levels(); ++i) {
+    EXPECT_EQ(reparsed.levels[i].geom.size_bytes,
+              original.levels[i].geom.size_bytes);
+    EXPECT_EQ(reparsed.levels[i].phased, original.levels[i].phased);
+  }
+  EXPECT_EQ(reparsed.redhip.recal_interval_l1_misses,
+            original.redhip.recal_interval_l1_misses);
+}
+
+TEST(ConfigFile, LoadsFromDisk) {
+  const std::string path = ::testing::TempDir() + "/machine.cfg";
+  {
+    std::ofstream out(path);
+    out << kTableIText;
+  }
+  const HierarchyConfig c = load_config_file(path);
+  EXPECT_EQ(c.levels[3].geom.size_bytes, 64_MiB);
+  std::remove(path.c_str());
+  EXPECT_THROW(load_config_file(path), std::logic_error);
+}
+
+}  // namespace
+}  // namespace redhip

@@ -1,0 +1,207 @@
+// Tests for src/energy: cacti_lite anchor fidelity and interpolation
+// behaviour, and EnergyLedger pricing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "energy/cacti_lite.h"
+#include "energy/ledger.h"
+#include "energy/params.h"
+
+namespace redhip {
+namespace {
+
+TEST(CactiLite, ReproducesTableIAnchorsExactly) {
+  const auto l1 = CactiLite::cache_params(32_KiB);
+  EXPECT_EQ(l1.data_delay, 2u);
+  EXPECT_DOUBLE_EQ(l1.data_energy_nj, 0.0144);
+  EXPECT_DOUBLE_EQ(l1.leakage_w, 0.0013);
+
+  const auto l2 = CactiLite::cache_params(256_KiB);
+  EXPECT_EQ(l2.data_delay, 6u);
+  EXPECT_DOUBLE_EQ(l2.data_energy_nj, 0.0634);
+  EXPECT_DOUBLE_EQ(l2.leakage_w, 0.02);
+
+  const auto l3 = CactiLite::cache_params(4_MiB);
+  EXPECT_EQ(l3.tag_delay, 9u);
+  EXPECT_EQ(l3.data_delay, 12u);
+  EXPECT_DOUBLE_EQ(l3.tag_energy_nj, 0.348);
+  EXPECT_DOUBLE_EQ(l3.data_energy_nj, 0.839);
+  EXPECT_DOUBLE_EQ(l3.leakage_w, 0.16);
+
+  const auto l4 = CactiLite::cache_params(64_MiB);
+  EXPECT_EQ(l4.tag_delay, 13u);
+  EXPECT_EQ(l4.data_delay, 22u);
+  EXPECT_DOUBLE_EQ(l4.tag_energy_nj, 1.171);
+  EXPECT_DOUBLE_EQ(l4.data_energy_nj, 5.542);
+  EXPECT_DOUBLE_EQ(l4.leakage_w, 2.56);
+}
+
+TEST(CactiLite, ParallelHelpersMatchTableI) {
+  const auto l4 = CactiLite::cache_params(64_MiB);
+  EXPECT_EQ(l4.parallel_delay(), 22u);
+  EXPECT_DOUBLE_EQ(l4.parallel_energy_nj(), 6.713);
+}
+
+TEST(CactiLite, InterpolationIsMonotoneInSize) {
+  double prev_e = 0.0, prev_leak = 0.0;
+  for (std::uint64_t size = 16_KiB; size <= 128_MiB; size *= 2) {
+    const auto p = CactiLite::cache_params(size);
+    const double e = p.parallel_energy_nj();
+    EXPECT_GT(e, prev_e) << "size " << size;
+    EXPECT_GT(p.leakage_w, prev_leak) << "size " << size;
+    prev_e = e;
+    prev_leak = p.leakage_w;
+  }
+}
+
+TEST(CactiLite, TagToDataRatioStaysInPublishedBand) {
+  // Phased Cache's premise: tag:data between roughly 1:3 and 1:5 for the
+  // large levels.
+  for (std::uint64_t size : {2_MiB, 4_MiB, 8_MiB, 16_MiB, 32_MiB, 64_MiB}) {
+    const auto p = CactiLite::cache_params(size);
+    ASSERT_GT(p.tag_energy_nj, 0.0);
+    const double ratio = p.data_energy_nj / p.tag_energy_nj;
+    EXPECT_GT(ratio, 2.0) << "size " << size;
+    EXPECT_LT(ratio, 6.0) << "size " << size;
+  }
+}
+
+TEST(CactiLite, SmallCachesFoldTagIntoData) {
+  const auto p = CactiLite::cache_params(128_KiB);
+  EXPECT_EQ(p.tag_delay, 0u);
+  EXPECT_DOUBLE_EQ(p.tag_energy_nj, 0.0);
+  EXPECT_GT(p.data_energy_nj, 0.0144);
+  EXPECT_LT(p.data_energy_nj, 0.0634);
+}
+
+TEST(CactiLite, PtParamsMatchTableIAt512K) {
+  const auto p = CactiLite::pt_params(512_KiB);
+  EXPECT_EQ(p.access_delay, 1u);
+  EXPECT_EQ(p.wire_delay, 5u);
+  EXPECT_DOUBLE_EQ(p.access_energy_nj, 0.02);
+  EXPECT_EQ(p.total_delay(), 6u);
+}
+
+TEST(CactiLite, PtEnergyScalesSubLinearly) {
+  const auto small = CactiLite::pt_params(64_KiB);
+  const auto big = CactiLite::pt_params(2_MiB);
+  // sqrt scaling: 64KB is 1/8 the capacity of 512KB -> ~0.354x energy.
+  EXPECT_NEAR(small.access_energy_nj, 0.02 / std::sqrt(8.0), 1e-9);
+  EXPECT_NEAR(big.access_energy_nj, 0.02 * 2.0, 1e-9);
+  EXPECT_EQ(big.access_delay, 2u);  // above 1MB costs one extra cycle
+}
+
+TEST(CactiLite, PtMuchCheaperThanEqualSizedL2) {
+  // The paper's point: a 512KB direct-mapped 64-bit-entry table costs far
+  // less per access than a 256KB set-associative cache.
+  const auto pt = CactiLite::pt_params(512_KiB);
+  const auto l2 = CactiLite::cache_params(256_KiB);
+  EXPECT_LT(pt.access_energy_nj, l2.data_energy_nj / 2.0);
+}
+
+// --------------------------------------------------------------- EnergyLedger
+
+EnergyLedger tiny_ledger(bool charge_fills = true) {
+  LevelEnergyParams l1{"L1", 0, 2, 0.0, 1.0, 0.5};
+  LevelEnergyParams llc{"LLC", 3, 5, 2.0, 10.0, 2.0};
+  PredictorEnergyParams pt;
+  pt.access_energy_nj = 0.1;
+  return EnergyLedger({l1, llc}, pt, /*num_private_instances=*/4,
+                      /*shared_last_level=*/true, charge_fills);
+}
+
+TEST(Ledger, PricesProbesFillsAndInvalidations) {
+  EnergyLedger ledger = tiny_ledger();
+  std::vector<LevelEvents> ev(2);
+  ev[0].tag_probes = 10;   // priced at 0 (folded)
+  ev[0].data_probes = 10;  // 10 nJ
+  ev[1].tag_probes = 4;    // 8 nJ
+  ev[1].data_probes = 2;   // 20 nJ
+  ev[1].fills = 1;         // tag+data = 12 nJ
+  ev[0].invalidations = 3; // priced at data (folded) = 3 nJ
+  const auto b = ledger.price(ev, {}, {}, 0, 0.0, 0.0, 0.0);
+  EXPECT_NEAR(b.level_dynamic_j[0], (10.0 + 3.0) * 1e-9, 1e-15);
+  EXPECT_NEAR(b.level_dynamic_j[1], (8.0 + 20.0 + 12.0) * 1e-9, 1e-15);
+  EXPECT_NEAR(b.dynamic_total_j(), 53.0 * 1e-9, 1e-15);
+}
+
+TEST(Ledger, FillsFreeUnderPaperAccounting) {
+  EnergyLedger ledger = tiny_ledger(/*charge_fills=*/false);
+  std::vector<LevelEvents> ev(2);
+  ev[1].fills = 100;
+  ev[1].data_probes = 1;
+  const auto b = ledger.price(ev, {}, {}, 0, 0.0, 0.0, 0.0);
+  EXPECT_NEAR(b.level_dynamic_j[1], 10.0 * 1e-9, 1e-15)
+      << "only the probe is priced; installs are part of the miss cost";
+}
+
+TEST(Ledger, PricesPredictorAndRecalibration) {
+  EnergyLedger ledger = tiny_ledger();
+  PredictorEvents pe;
+  pe.lookups = 100;
+  pe.updates = 50;
+  pe.recal_sets_read = 10;      // at LLC tag energy 2.0
+  pe.recal_words_written = 20;  // at PT energy 0.1
+  const auto b =
+      ledger.price(std::vector<LevelEvents>(2), pe, {}, 0, 0.0, 0.0, 0.0);
+  EXPECT_NEAR(b.predictor_dynamic_j, 150 * 0.1 * 1e-9, 1e-15);
+  // Set reads are sequential sweeps: a quarter of an associative tag probe.
+  EXPECT_NEAR(b.recalibration_j, (10 * 2.0 * 0.25 + 20 * 0.1) * 1e-9, 1e-15);
+}
+
+TEST(Ledger, LeakageCountsPrivateInstancesAndSharedOnce) {
+  EnergyLedger ledger = tiny_ledger();
+  // 4 private L1 at 0.5W + one shared LLC at 2.0W + predictor 0.3W = 4.3W.
+  const auto b = ledger.price(std::vector<LevelEvents>(2), {}, {}, 0, 0.0,
+                              /*elapsed_seconds=*/2.0,
+                              /*predictor_leakage_w=*/0.3);
+  EXPECT_NEAR(b.leakage_j, 4.3 * 2.0, 1e-12);
+}
+
+TEST(Ledger, MemoryEnergy) {
+  EnergyLedger ledger = tiny_ledger();
+  const auto b = ledger.price(std::vector<LevelEvents>(2), {}, {},
+                              /*memory_accesses=*/1000,
+                              /*memory_energy_nj=*/20.0, 0.0, 0.0);
+  EXPECT_NEAR(b.memory_j, 1000 * 20.0 * 1e-9, 1e-15);
+}
+
+TEST(Ledger, TotalIsSumOfParts) {
+  EnergyLedger ledger = tiny_ledger();
+  std::vector<LevelEvents> ev(2);
+  ev[1].data_probes = 7;
+  PredictorEvents pe;
+  pe.lookups = 3;
+  PrefetchEvents pf;
+  pf.table_lookups = 11;
+  const auto b = ledger.price(ev, pe, pf, 5, 1.0, 1.5, 0.1);
+  EXPECT_NEAR(b.total_j(),
+              b.level_dynamic_j[0] + b.level_dynamic_j[1] +
+                  b.predictor_dynamic_j + b.recalibration_j + b.prefetcher_j +
+                  b.memory_j + b.leakage_j,
+              1e-18);
+}
+
+TEST(Ledger, RejectsMismatchedLevelCount) {
+  EnergyLedger ledger = tiny_ledger();
+  EXPECT_THROW(
+      ledger.price(std::vector<LevelEvents>(3), {}, {}, 0, 0.0, 0.0, 0.0),
+      std::logic_error);
+}
+
+TEST(LevelEvents, AccumulationOperator) {
+  LevelEvents a, b;
+  a.tag_probes = 1;
+  a.hits = 2;
+  b.tag_probes = 10;
+  b.hits = 20;
+  b.skipped = 5;
+  a += b;
+  EXPECT_EQ(a.tag_probes, 11u);
+  EXPECT_EQ(a.hits, 22u);
+  EXPECT_EQ(a.skipped, 5u);
+}
+
+}  // namespace
+}  // namespace redhip

@@ -1,0 +1,169 @@
+// Tests for src/harness: run_spec / compare, the experiment matrix runner,
+// the thread pool, and the table printer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "harness/experiment.h"
+#include "harness/report.h"
+#include "harness/run.h"
+#include "harness/thread_pool.h"
+
+namespace redhip {
+namespace {
+
+TEST(RunSpecTest, ProducesSaneResults) {
+  RunSpec spec;
+  spec.bench = BenchmarkId::kSoplex;
+  spec.scale = 32;
+  spec.refs_per_core = 10'000;
+  const SimResult r = run_spec(spec);
+  EXPECT_EQ(r.total_refs, 8u * 10'000u);
+  EXPECT_GT(r.exec_cycles, 0u);
+  EXPECT_GT(r.energy.total_j(), 0.0);
+  EXPECT_EQ(r.levels.size(), 4u);
+  EXPECT_EQ(r.levels[0].accesses, r.total_refs);
+}
+
+TEST(RunSpecTest, TweakIsApplied) {
+  RunSpec spec;
+  spec.bench = BenchmarkId::kSoplex;
+  spec.scale = 32;
+  spec.refs_per_core = 5'000;
+  spec.scheme = Scheme::kRedhip;
+  bool tweaked = false;
+  spec.tweak = [&tweaked](HierarchyConfig& c) {
+    tweaked = true;
+    c.redhip.recal_interval_l1_misses = 0;
+  };
+  const SimResult r = run_spec(spec);
+  EXPECT_TRUE(tweaked);
+  EXPECT_EQ(r.predictor.recalibrations, 0u);
+}
+
+TEST(CompareTest, IdenticalRunsCompareAsUnity) {
+  RunSpec spec;
+  spec.bench = BenchmarkId::kAstar;
+  spec.scale = 32;
+  spec.refs_per_core = 5'000;
+  const SimResult a = run_spec(spec);
+  const SimResult b = run_spec(spec);
+  const Comparison c = compare(a, b);
+  EXPECT_DOUBLE_EQ(c.speedup, 1.0);
+  EXPECT_DOUBLE_EQ(c.dyn_energy_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(c.perf_energy_metric, 1.0);
+}
+
+TEST(CompareTest, MetricIsProductOfSpeedupAndEnergyGain) {
+  RunSpec spec;
+  spec.bench = BenchmarkId::kMcf;
+  spec.scale = 32;
+  spec.refs_per_core = 20'000;
+  const SimResult base = run_spec(spec);
+  spec.scheme = Scheme::kRedhip;
+  const SimResult x = run_spec(spec);
+  const Comparison c = compare(base, x);
+  EXPECT_NEAR(c.perf_energy_metric,
+              c.speedup * (base.energy.total_j() / x.energy.total_j()),
+              1e-12);
+}
+
+TEST(ExperimentTest, ParseReadsFlagsAndBenchFilter) {
+  const char* argv[] = {"prog", "--scale", "16", "--refs", "1234",
+                        "--bench", "lbm", "--csv"};
+  CliOptions cli(8, const_cast<char**>(argv));
+  const ExperimentOptions o = ExperimentOptions::parse(cli);
+  EXPECT_EQ(o.scale, 16u);
+  EXPECT_EQ(o.refs_per_core, 1234u);
+  EXPECT_TRUE(o.csv);
+  ASSERT_EQ(o.benches.size(), 1u);
+  EXPECT_EQ(o.benches[0], BenchmarkId::kLbm);
+}
+
+TEST(ExperimentTest, ParseRejectsUnknownBench) {
+  const char* argv[] = {"prog", "--bench", "nosuch"};
+  CliOptions cli(3, const_cast<char**>(argv));
+  EXPECT_THROW(ExperimentOptions::parse(cli), std::logic_error);
+}
+
+TEST(ExperimentTest, MatrixMatchesIndividualRuns) {
+  ExperimentOptions o;
+  o.scale = 32;
+  o.refs_per_core = 5'000;
+  o.benches = {BenchmarkId::kLbm, BenchmarkId::kMcf};
+  const std::vector<SchemeColumn> cols = {{"Base", Scheme::kBase},
+                                          {"ReDHiP", Scheme::kRedhip}};
+  const auto m = run_matrix(o, cols);
+  ASSERT_EQ(m.size(), 2u);
+  ASSERT_EQ(m[0].size(), 2u);
+  // The matrix result equals a directly-executed run (determinism across
+  // the thread pool).
+  RunSpec spec;
+  spec.bench = BenchmarkId::kMcf;
+  spec.scheme = Scheme::kRedhip;
+  spec.scale = 32;
+  spec.refs_per_core = 5'000;
+  const SimResult direct = run_spec(spec);
+  EXPECT_EQ(m[1][1].exec_cycles, direct.exec_cycles);
+  EXPECT_EQ(m[1][1].predictor.predicted_absent,
+            direct.predictor.predicted_absent);
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&count] { ++count; });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), 100);
+  }
+}
+
+TEST(ThreadPoolTest, WaitIdleBlocksUntilDone) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&done] {
+      for (volatile int spin = 0; spin < 100'000; ++spin) {
+      }
+      ++done;
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 8);
+}
+
+TEST(ThreadPoolTest, RunAllConvenience) {
+  std::atomic<int> sum{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 1; i <= 10; ++i) {
+    tasks.push_back([&sum, i] { sum += i; });
+  }
+  ThreadPool::run_all(std::move(tasks), 3);
+  EXPECT_EQ(sum.load(), 55);
+}
+
+TEST(Report, FormattersProduceExpectedStrings) {
+  EXPECT_EQ(pct_delta(1.083), "+8.3%");
+  EXPECT_EQ(pct_delta(0.97), "-3.0%");
+  EXPECT_EQ(pct(0.612), "61.2%");
+  EXPECT_EQ(fixed(1.23456, 3), "1.235");
+}
+
+TEST(Report, TableRejectsRaggedRows) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::logic_error);
+  t.add_row({"x", "y"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Report, MeanHelper) {
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+}  // namespace
+}  // namespace redhip

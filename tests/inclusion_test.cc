@@ -1,0 +1,232 @@
+// Behavioural scenarios for the three inclusion policies: line movement,
+// victim cascades, back-invalidation, and capacity conservation — the
+// mechanics Fig. 13 depends on.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "sim/simulator.h"
+#include "trace/mem_ref.h"
+
+namespace redhip {
+namespace {
+
+// Same tiny machine as sim_test: L1 1KB/2w (8 sets), L2 4KB/4w (16 sets),
+// L3 16KB/4w (64 sets), L4 64KB/8w (128 sets).
+HierarchyConfig tiny(Scheme scheme, InclusionPolicy incl) {
+  HierarchyConfig c;
+  c.cores = 1;
+  c.scheme = scheme;
+  c.inclusion = incl;
+  auto mk = [](std::uint64_t size, std::uint32_t ways, Cycles td, Cycles dd,
+               double te, double de) {
+    LevelSpec l;
+    l.geom.size_bytes = size;
+    l.geom.ways = ways;
+    l.energy = LevelEnergyParams{"", td, dd, te, de, 0.1};
+    return l;
+  };
+  c.levels = {mk(1_KiB, 2, 0, 2, 0.0, 1.0), mk(4_KiB, 4, 0, 6, 0.0, 2.0),
+              mk(16_KiB, 4, 9, 12, 3.0, 9.0), mk(64_KiB, 8, 13, 22, 4.0, 20.0)};
+  c.redhip.table_bits = 1 << 13;
+  c.redhip.recal_interval_l1_misses = 0;
+  c.cbf.index_bits = 12;
+  return c;
+}
+
+MulticoreSimulator make_sim(const HierarchyConfig& c) {
+  std::vector<std::unique_ptr<TraceSource>> t;
+  for (std::uint32_t i = 0; i < c.cores; ++i) {
+    t.push_back(std::make_unique<VectorTraceSource>(std::vector<MemRef>{}));
+  }
+  return MulticoreSimulator(c, std::move(t),
+                            std::vector<std::uint32_t>(c.cores, 100));
+}
+
+MemRef ref_at(Addr a) { return MemRef{a, 0, 0, false}; }
+
+std::uint64_t lines_at(const MulticoreSimulator& sim, std::uint32_t lvl) {
+  return sim.level_array_for_test(lvl, 0).valid_count();
+}
+
+// ----------------------------------------------------------------- hybrid
+
+TEST(Hybrid, MissFillsL1AndLlcOnly) {
+  auto sim = make_sim(tiny(Scheme::kBase, InclusionPolicy::kHybrid));
+  sim.access_for_test(0, ref_at(0x10000));
+  EXPECT_TRUE(sim.level_array_for_test(0, 0).contains(0x10000 >> 6));
+  EXPECT_FALSE(sim.level_array_for_test(1, 0).contains(0x10000 >> 6));
+  EXPECT_FALSE(sim.level_array_for_test(2, 0).contains(0x10000 >> 6));
+  EXPECT_TRUE(sim.level_array_for_test(3, 0).contains(0x10000 >> 6));
+}
+
+TEST(Hybrid, L1VictimCascadesToL2NotL4Duplicate) {
+  auto sim = make_sim(tiny(Scheme::kBase, InclusionPolicy::kHybrid));
+  const Addr a = 0x10000;
+  sim.access_for_test(0, ref_at(a));
+  // Conflict it out of L1 (8 sets x 2 ways; 512-byte conflict stride).
+  sim.access_for_test(0, ref_at(a + 512));
+  sim.access_for_test(0, ref_at(a + 1024));
+  EXPECT_FALSE(sim.level_array_for_test(0, 0).contains(a >> 6));
+  EXPECT_TRUE(sim.level_array_for_test(1, 0).contains(a >> 6))
+      << "hybrid L1 victims must land in L2";
+  EXPECT_TRUE(sim.level_array_for_test(3, 0).contains(a >> 6))
+      << "the inclusive LLC keeps its copy";
+}
+
+TEST(Hybrid, PrivateHitMovesLineBackToL1) {
+  auto sim = make_sim(tiny(Scheme::kBase, InclusionPolicy::kHybrid));
+  const Addr a = 0x10000;
+  sim.access_for_test(0, ref_at(a));
+  sim.access_for_test(0, ref_at(a + 512));
+  sim.access_for_test(0, ref_at(a + 1024));  // a now in L2
+  const Cycles lat = sim.access_for_test(0, ref_at(a));
+  EXPECT_EQ(lat, 2 + 6u);  // L1 miss + L2 hit
+  EXPECT_TRUE(sim.level_array_for_test(0, 0).contains(a >> 6));
+  EXPECT_FALSE(sim.level_array_for_test(1, 0).contains(a >> 6))
+      << "exclusive private levels move, not copy";
+}
+
+TEST(Hybrid, LlcEvictionBackInvalidatesPrivates) {
+  auto sim = make_sim(tiny(Scheme::kBase, InclusionPolicy::kHybrid));
+  // L4: 128 sets x 8 ways; lines 128 sets apart conflict (8KB stride).
+  const Addr a = 0x100000;
+  sim.access_for_test(0, ref_at(a));
+  EXPECT_TRUE(sim.level_array_for_test(0, 0).contains(a >> 6));
+  for (int i = 1; i <= 8; ++i) {
+    sim.access_for_test(0, ref_at(a + static_cast<Addr>(i) * 128 * 64));
+  }
+  EXPECT_FALSE(sim.level_array_for_test(3, 0).contains(a >> 6))
+      << "L4 should have evicted the LRU line";
+  for (std::uint32_t lvl = 0; lvl < 3; ++lvl) {
+    EXPECT_FALSE(sim.level_array_for_test(lvl, 0).contains(a >> 6))
+        << "back-invalidation must purge private level " << lvl + 1;
+  }
+}
+
+// -------------------------------------------------------------- exclusive
+
+TEST(Exclusive, CapacityIsTheSumOfLevels) {
+  // Touch more distinct lines than L1+L2 can hold but fewer than the
+  // aggregate; in exclusive mode nothing is duplicated, so all of them must
+  // still be resident somewhere.
+  auto sim = make_sim(tiny(Scheme::kBase, InclusionPolicy::kExclusive));
+  const int kLines = 800;  // 50KB < 1+4+16+64KB aggregate
+  for (int i = 0; i < kLines; ++i) {
+    sim.access_for_test(0, ref_at(static_cast<Addr>(i) * 64));
+  }
+  std::uint64_t resident = 0;
+  for (std::uint32_t lvl = 0; lvl < 4; ++lvl) resident += lines_at(sim, lvl);
+  EXPECT_EQ(resident, static_cast<std::uint64_t>(kLines))
+      << "exclusive hierarchy must hold every distinct line exactly once";
+}
+
+TEST(Exclusive, InclusiveDuplicatesReduceEffectiveCapacity) {
+  auto incl = make_sim(tiny(Scheme::kBase, InclusionPolicy::kInclusive));
+  auto excl = make_sim(tiny(Scheme::kBase, InclusionPolicy::kExclusive));
+  Xoshiro256 rng(3);
+  std::vector<Addr> addrs;
+  for (int i = 0; i < 1400; ++i) addrs.push_back(rng.below(1 << 17) & ~63ull);
+  for (Addr a : addrs) {
+    incl.access_for_test(0, ref_at(a));
+    excl.access_for_test(0, ref_at(a));
+  }
+  std::set<LineAddr> incl_lines, excl_lines;
+  for (std::uint32_t lvl = 0; lvl < 4; ++lvl) {
+    incl.level_array_for_test(lvl, 0).for_each_valid(
+        [&](LineAddr l) { incl_lines.insert(l); });
+    excl.level_array_for_test(lvl, 0).for_each_valid(
+        [&](LineAddr l) { excl_lines.insert(l); });
+  }
+  EXPECT_GT(excl_lines.size(), incl_lines.size())
+      << "exclusive mode must keep more distinct lines on chip";
+}
+
+TEST(Exclusive, ReaccessAfterDemotionClimbsBack) {
+  auto sim = make_sim(tiny(Scheme::kBase, InclusionPolicy::kExclusive));
+  const Addr a = 0x40000;
+  sim.access_for_test(0, ref_at(a));
+  // Push it down two levels with L1/L2-conflicting lines (1KB apart shares
+  // the L1 set; 16 lines apart shares the L2 set).
+  for (int i = 1; i <= 6; ++i) {
+    sim.access_for_test(0, ref_at(a + static_cast<Addr>(i) * 1024));
+  }
+  EXPECT_FALSE(sim.level_array_for_test(0, 0).contains(a >> 6));
+  // Find it somewhere below and re-access: it must return to L1 and vacate
+  // its old spot.
+  sim.access_for_test(0, ref_at(a));
+  EXPECT_TRUE(sim.level_array_for_test(0, 0).contains(a >> 6));
+  int copies = 0;
+  for (std::uint32_t lvl = 0; lvl < 4; ++lvl) {
+    copies += sim.level_array_for_test(lvl, 0).contains(a >> 6) ? 1 : 0;
+  }
+  EXPECT_EQ(copies, 1);
+}
+
+// -------------------------------------------------------------- inclusive
+
+TEST(Inclusive, LlcEvictionPurgesEveryCoreAbove) {
+  HierarchyConfig c = tiny(Scheme::kBase, InclusionPolicy::kInclusive);
+  c.cores = 2;
+  auto sim = make_sim(c);
+  // Same line loaded by... cores don't share lines in the workloads, but
+  // the mechanism must still be correct: load it on core 0 only, evict from
+  // the shared L4 via core 1's conflicting lines, verify purge on core 0.
+  const Addr a = 0x200000;
+  sim.access_for_test(0, ref_at(a));
+  for (int i = 1; i <= 8; ++i) {
+    sim.access_for_test(1, ref_at(a + static_cast<Addr>(i) * 128 * 64));
+  }
+  EXPECT_FALSE(sim.level_array_for_test(3, 0).contains(a >> 6));
+  for (std::uint32_t lvl = 0; lvl < 3; ++lvl) {
+    EXPECT_FALSE(sim.level_array_for_test(lvl, 0).contains(a >> 6))
+        << "cross-core back-invalidation failed at level " << lvl + 1;
+  }
+}
+
+TEST(Inclusive, PrivateEvictionOnlyPurgesOwnCore) {
+  HierarchyConfig c = tiny(Scheme::kBase, InclusionPolicy::kInclusive);
+  c.cores = 2;
+  auto sim = make_sim(c);
+  const Addr a = 0x300000;
+  sim.access_for_test(0, ref_at(a));
+  sim.access_for_test(1, ref_at(a));  // both cores cache the same line
+  // Evict from core 0's L2 (16 sets x 4 ways; 1KB stride shares the set).
+  for (int i = 1; i <= 8; ++i) {
+    sim.access_for_test(0, ref_at(a + static_cast<Addr>(i) * 16 * 64));
+  }
+  EXPECT_FALSE(sim.level_array_for_test(1, 0).contains(a >> 6));
+  EXPECT_FALSE(sim.level_array_for_test(0, 0).contains(a >> 6))
+      << "L2 eviction must back-invalidate the core's own L1";
+  EXPECT_TRUE(sim.level_array_for_test(0, 1).contains(a >> 6))
+      << "core 1's copy must survive core 0's private eviction";
+}
+
+// ------------------------------------------------- ReDHiP under each policy
+
+TEST(RedhipPolicy, HybridUsesTheSingleLlcTable) {
+  auto sim = make_sim(tiny(Scheme::kRedhip, InclusionPolicy::kHybrid));
+  EXPECT_NE(sim.llc_predictor_for_test(), nullptr);
+  // Cold bypass works exactly as in inclusive mode.
+  EXPECT_EQ(sim.access_for_test(0, ref_at(0x500000)), 8u);  // 2 + PT 6
+}
+
+TEST(RedhipPolicy, ExclusiveSkipsAreConservative) {
+  auto sim = make_sim(tiny(Scheme::kRedhip, InclusionPolicy::kExclusive));
+  Xoshiro256 rng(17);
+  for (int i = 0; i < 20'000; ++i) {
+    const Addr a = rng.below(1 << 19) & ~7ull;
+    const LineAddr line = a >> 6;
+    // Before the access: any level that holds the line must be predicted
+    // present by its table — the per-level no-false-negative invariant.
+    // (Verified indirectly: the line must end up in L1 after access, since
+    // a skip of the level actually holding it would lose the hierarchy's
+    // only copy and trip the exclusive-capacity accounting.)
+    sim.access_for_test(0, ref_at(a));
+    ASSERT_TRUE(sim.level_array_for_test(0, 0).contains(line));
+  }
+}
+
+}  // namespace
+}  // namespace redhip

@@ -1,0 +1,87 @@
+// Tests for the JSON result serializer.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "harness/json_report.h"
+#include "harness/run.h"
+
+namespace redhip {
+namespace {
+
+// A structural validator sufficient for our own output: balanced
+// braces/brackets outside of (we emit no) strings-with-escapes, keys quoted.
+bool balanced(const std::string& s) {
+  int brace = 0, bracket = 0;
+  for (char c : s) {
+    if (c == '{') ++brace;
+    if (c == '}') --brace;
+    if (c == '[') ++bracket;
+    if (c == ']') --bracket;
+    if (brace < 0 || bracket < 0) return false;
+  }
+  return brace == 0 && bracket == 0;
+}
+
+SimResult sample_result() {
+  RunSpec spec;
+  spec.bench = BenchmarkId::kSoplex;
+  spec.scheme = Scheme::kRedhip;
+  spec.scale = 32;
+  spec.refs_per_core = 8'000;
+  return run_spec(spec);
+}
+
+TEST(JsonReport, WellFormedAndComplete) {
+  const SimResult r = sample_result();
+  const std::string j = to_json(r);
+  EXPECT_TRUE(balanced(j)) << j;
+  for (const char* key :
+       {"\"total_refs\"", "\"exec_cycles\"", "\"levels\"", "\"predictor\"",
+        "\"prefetch\"", "\"energy_j\"", "\"core_cycles\"", "\"leakage\"",
+        "\"predicted_absent\"", "\"writebacks\""}) {
+    EXPECT_NE(j.find(key), std::string::npos) << "missing " << key;
+  }
+}
+
+TEST(JsonReport, ValuesMatchTheResult) {
+  const SimResult r = sample_result();
+  const std::string j = to_json(r);
+  EXPECT_NE(j.find("\"total_refs\":" + std::to_string(r.total_refs)),
+            std::string::npos);
+  EXPECT_NE(j.find("\"exec_cycles\":" + std::to_string(r.exec_cycles)),
+            std::string::npos);
+  EXPECT_NE(j.find("\"predicted_absent\":" +
+                   std::to_string(r.predictor.predicted_absent)),
+            std::string::npos);
+}
+
+TEST(JsonReport, LevelArrayHasOneEntryPerLevel) {
+  const SimResult r = sample_result();
+  const std::string j = to_json(r);
+  std::size_t count = 0;
+  for (std::size_t pos = j.find("\"accesses\""); pos != std::string::npos;
+       pos = j.find("\"accesses\"", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, r.levels.size());
+}
+
+TEST(JsonReport, ComparisonSerializes) {
+  Comparison c;
+  c.speedup = 1.08;
+  c.dyn_energy_ratio = 0.39;
+  c.total_energy_ratio = 0.78;
+  c.perf_energy_metric = 1.3846;
+  const std::string j = to_json(c);
+  EXPECT_TRUE(balanced(j));
+  EXPECT_NE(j.find("\"speedup\":1.08"), std::string::npos);
+  EXPECT_NE(j.find("\"dyn_energy_ratio\":0.39"), std::string::npos);
+}
+
+TEST(JsonReport, DeterministicForIdenticalRuns) {
+  EXPECT_EQ(to_json(sample_result()), to_json(sample_result()));
+}
+
+}  // namespace
+}  // namespace redhip

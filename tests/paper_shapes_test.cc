@@ -1,0 +1,183 @@
+// Paper-shape regression tests: the qualitative orderings every figure in
+// the evaluation depends on.  These protect the reproduction's conclusions
+// (who wins, in which direction) against model regressions, using small but
+// statistically comfortable runs.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "harness/run.h"
+
+namespace redhip {
+namespace {
+
+// One memory-hungry representative keeps the suite fast; the full-suite
+// averages live in the bench binaries.
+SimResult run_scheme(Scheme scheme, BenchmarkId bench = BenchmarkId::kMcf,
+                     bool prefetch = false,
+                     InclusionPolicy incl = InclusionPolicy::kInclusive,
+                     std::function<void(HierarchyConfig&)> tweak = nullptr) {
+  RunSpec spec;
+  spec.bench = bench;
+  spec.scheme = scheme;
+  spec.inclusion = incl;
+  spec.prefetch = prefetch;
+  spec.scale = 16;
+  spec.refs_per_core = 120'000;
+  spec.tweak = std::move(tweak);
+  return run_spec(spec);
+}
+
+class Fig6And7Shape : public ::testing::Test {
+ protected:
+  static const std::map<Scheme, SimResult>& results() {
+    static const std::map<Scheme, SimResult> kResults = [] {
+      std::map<Scheme, SimResult> m;
+      for (Scheme s : {Scheme::kBase, Scheme::kOracle, Scheme::kCbf,
+                       Scheme::kPhased, Scheme::kRedhip}) {
+        m.emplace(s, run_scheme(s));
+      }
+      return m;
+    }();
+    return kResults;
+  }
+  static Comparison vs_base(Scheme s) {
+    return compare(results().at(Scheme::kBase), results().at(s));
+  }
+};
+
+TEST_F(Fig6And7Shape, OracleIsTheSpeedupUpperBound) {
+  const double oracle = vs_base(Scheme::kOracle).speedup;
+  EXPECT_GT(oracle, 1.05);
+  EXPECT_GT(oracle, vs_base(Scheme::kRedhip).speedup);
+  EXPECT_GT(oracle, vs_base(Scheme::kCbf).speedup);
+  EXPECT_GT(oracle, vs_base(Scheme::kPhased).speedup);
+}
+
+TEST_F(Fig6And7Shape, RedhipOutperformsCbfAndPhasedOnSpeed) {
+  // Fig. 6: ReDHiP ~ +8%, CBF < +4%, Phased ~ -3%.
+  EXPECT_GT(vs_base(Scheme::kRedhip).speedup, 1.0);
+  EXPECT_GT(vs_base(Scheme::kRedhip).speedup, vs_base(Scheme::kCbf).speedup);
+  EXPECT_GT(vs_base(Scheme::kRedhip).speedup,
+            vs_base(Scheme::kPhased).speedup);
+}
+
+TEST_F(Fig6And7Shape, PhasedCacheTradesLatencyForEnergy) {
+  // Fig. 6/7: Phased loses performance but saves substantial energy.
+  EXPECT_LE(vs_base(Scheme::kPhased).speedup, 1.001);
+  EXPECT_LT(vs_base(Scheme::kPhased).dyn_energy_ratio, 0.8);
+}
+
+TEST_F(Fig6And7Shape, EnergyOrderingMatchesFig7) {
+  // Fig. 7: Oracle < ReDHiP < Phased < CBF < Base (ratios to Base).
+  const double oracle = vs_base(Scheme::kOracle).dyn_energy_ratio;
+  const double redhip = vs_base(Scheme::kRedhip).dyn_energy_ratio;
+  const double phased = vs_base(Scheme::kPhased).dyn_energy_ratio;
+  const double cbf = vs_base(Scheme::kCbf).dyn_energy_ratio;
+  EXPECT_LT(oracle, redhip);
+  EXPECT_LT(redhip, phased);
+  EXPECT_LT(phased, cbf);
+  EXPECT_LT(cbf, 1.0);
+}
+
+TEST_F(Fig6And7Shape, RedhipWinsThePerfEnergyMetric) {
+  // Fig. 8.
+  const double redhip = vs_base(Scheme::kRedhip).perf_energy_metric;
+  EXPECT_GT(redhip, vs_base(Scheme::kCbf).perf_energy_metric);
+  EXPECT_GT(redhip, vs_base(Scheme::kPhased).perf_energy_metric);
+  EXPECT_GT(redhip, 1.1);
+}
+
+TEST_F(Fig6And7Shape, RedhipOverheadIsASmallShareOfItsEnergy) {
+  const auto& e = results().at(Scheme::kRedhip).energy;
+  EXPECT_LT((e.predictor_dynamic_j + e.recalibration_j) / e.dynamic_total_j(),
+            0.12);
+}
+
+TEST(Fig9And10Shape, RedhipRaisesLowerLevelHitRates) {
+  const SimResult base = run_scheme(Scheme::kBase);
+  const SimResult red = run_scheme(Scheme::kRedhip);
+  // L1 untouched; L2..L4 improve because doomed misses are filtered out.
+  EXPECT_NEAR(red.hit_rate(0), base.hit_rate(0), 1e-9);
+  EXPECT_GT(red.hit_rate(1), base.hit_rate(1));
+  EXPECT_GT(red.hit_rate(2), base.hit_rate(2));
+  EXPECT_GT(red.hit_rate(3), base.hit_rate(3));
+}
+
+TEST(Fig11Shape, SmallerTablesLoseAccuracy) {
+  // Fig. 11: dynamic energy rises monotonically as the PT shrinks.
+  double prev = 0.0;
+  for (int shift : {1, 0, -2, -4}) {
+    const SimResult r = run_scheme(
+        Scheme::kRedhip, BenchmarkId::kMcf, false,
+        InclusionPolicy::kInclusive, [shift](HierarchyConfig& c) {
+          c.redhip.table_bits = shift >= 0 ? c.redhip.table_bits << shift
+                                           : c.redhip.table_bits >> -shift;
+        });
+    double dyn = 0.0;
+    for (double v : r.energy.level_dynamic_j) dyn += v;
+    EXPECT_GT(dyn, prev) << "shift " << shift;
+    prev = dyn;
+  }
+}
+
+TEST(Fig12Shape, InfrequentRecalibrationLosesAccuracy) {
+  // Fig. 12: never-recalibrate is worst; 1M-equivalent is close to always.
+  auto with_interval = [](std::uint64_t iv) {
+    return run_scheme(Scheme::kRedhip, BenchmarkId::kMcf, false,
+                      InclusionPolicy::kInclusive, [iv](HierarchyConfig& c) {
+                        c.redhip.recal_interval_l1_misses = iv;
+                      });
+  };
+  const SimResult frequent = with_interval(2'000);
+  const SimResult rare = with_interval(2'000'000);
+  const SimResult never = with_interval(0);
+  EXPECT_GT(frequent.predictor.predicted_absent,
+            rare.predictor.predicted_absent);
+  EXPECT_GE(rare.predictor.predicted_absent,
+            never.predictor.predicted_absent);
+}
+
+TEST(Fig13Shape, HybridMatchesInclusiveExclusiveStillWins) {
+  auto saving = [](InclusionPolicy p) {
+    const SimResult base = run_scheme(Scheme::kBase, BenchmarkId::kMcf,
+                                      false, p);
+    const SimResult red = run_scheme(Scheme::kRedhip, BenchmarkId::kMcf,
+                                     false, p);
+    return 1.0 - compare(base, red).dyn_energy_ratio;
+  };
+  const double incl = saving(InclusionPolicy::kInclusive);
+  const double hybrid = saving(InclusionPolicy::kHybrid);
+  const double excl = saving(InclusionPolicy::kExclusive);
+  EXPECT_NEAR(hybrid, incl, 0.10) << "hybrid should track inclusive closely";
+  EXPECT_GT(excl, 0.15) << "exclusive keeps a large benefit";
+}
+
+TEST(Fig14And15Shape, PrefetchingAndRedhipCompose) {
+  // Regular workload: prefetching accelerates, ReDHiP saves energy, and the
+  // combination gets both.
+  const SimResult base = run_scheme(Scheme::kBase, BenchmarkId::kBwaves);
+  const SimResult sp = run_scheme(Scheme::kBase, BenchmarkId::kBwaves, true);
+  const SimResult red = run_scheme(Scheme::kRedhip, BenchmarkId::kBwaves);
+  const SimResult both =
+      run_scheme(Scheme::kRedhip, BenchmarkId::kBwaves, true);
+  const Comparison c_sp = compare(base, sp);
+  const Comparison c_red = compare(base, red);
+  const Comparison c_both = compare(base, both);
+  EXPECT_GT(c_sp.speedup, 1.01) << "stride prefetch must help bwaves";
+  EXPECT_GT(c_both.speedup, c_red.speedup)
+      << "prefetching adds speed on top of ReDHiP";
+  EXPECT_LT(c_both.dyn_energy_ratio, c_sp.dyn_energy_ratio)
+      << "ReDHiP offsets part of the prefetcher's energy cost";
+  EXPECT_LT(c_red.dyn_energy_ratio, 1.0);
+}
+
+TEST(MotivationShape, DeepLevelsDominateDynamicEnergy) {
+  const SimResult r = run_scheme(Scheme::kBase);
+  const auto& e = r.energy.level_dynamic_j;
+  const double deep = (e[2] + e[3]) / r.energy.dynamic_total_j();
+  EXPECT_GT(deep, 0.6) << "the Section I claim (~80% at full scale)";
+}
+
+}  // namespace
+}  // namespace redhip

@@ -1,0 +1,469 @@
+// Tests for src/predict: the ReDHiP table (indexing, conservatism,
+// recalibration exactness, stall model), the counting Bloom filter baseline,
+// and the Oracle.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cache/tag_array.h"
+#include "common/bitops.h"
+#include "common/rng.h"
+#include "predict/counting_bloom.h"
+#include "predict/oracle.h"
+#include "predict/partial_tag.h"
+#include "predict/redhip_table.h"
+
+namespace redhip {
+namespace {
+
+RedhipConfig small_pt(std::uint64_t bits = 1 << 12,
+                      std::uint64_t interval = 0) {
+  RedhipConfig c;
+  c.table_bits = bits;
+  c.recal_interval_l1_misses = interval;
+  c.banks = 4;
+  return c;
+}
+
+CacheGeometry llc_geom(std::uint64_t size = 64_KiB, std::uint32_t ways = 16) {
+  CacheGeometry g;
+  g.size_bytes = size;
+  g.ways = ways;
+  return g;
+}
+
+TEST(RedhipTable, StartsEmptyAndPredictsAbsent) {
+  RedhipTable t(small_pt());
+  EXPECT_EQ(t.bits_set(), 0u);
+  EXPECT_EQ(t.query(123), Prediction::kAbsent);
+  EXPECT_EQ(t.events().lookups, 1u);
+}
+
+TEST(RedhipTable, FillSetsExactlyOneBit) {
+  RedhipTable t(small_pt());
+  t.on_fill(0x5a5);
+  EXPECT_EQ(t.bits_set(), 1u);
+  EXPECT_EQ(t.query(0x5a5), Prediction::kPresent);
+  EXPECT_TRUE(t.test_bit(0x5a5));
+}
+
+TEST(RedhipTable, BitsHashUsesLowLineBits) {
+  RedhipTable t(small_pt(1 << 12));
+  // Index = low 12 bits of the line address.
+  EXPECT_EQ(t.index_of(0xABCDE), 0xABCDEu & 0xFFF);
+  t.on_fill(0x1000);  // aliases with 0x0000
+  EXPECT_EQ(t.query(0x0000), Prediction::kPresent)
+      << "aliased lines share a bit (the source of false positives)";
+}
+
+TEST(RedhipTable, EvictDoesNotClear) {
+  RedhipTable t(small_pt());
+  t.on_fill(7);
+  t.on_evict(7);
+  EXPECT_EQ(t.query(7), Prediction::kPresent)
+      << "1-bit entries cannot express removal; staleness is by design";
+}
+
+TEST(RedhipTable, RecalibrationMatchesTagArrayExactly) {
+  // DESIGN.md invariant 3: after recalibration a bit is set iff some
+  // resident line hashes to it.
+  const CacheGeometry g = llc_geom();  // 64 sets x 16 ways = 1024 lines
+  TagArray llc(g);
+  RedhipTable t(small_pt(1 << 12));
+  Xoshiro256 rng(42);
+  std::set<LineAddr> resident;
+  for (int i = 0; i < 5000; ++i) {
+    const LineAddr line = rng.below(1 << 14);
+    if (llc.contains(line)) continue;
+    auto r = llc.fill(line);
+    resident.insert(line);
+    if (r.evicted) resident.erase(r.victim);
+  }
+  t.recalibrate(llc);
+  std::set<std::uint64_t> expected_bits;
+  for (LineAddr l : resident) expected_bits.insert(t.index_of(l));
+  EXPECT_EQ(t.bits_set(), expected_bits.size());
+  for (std::uint64_t b : expected_bits) EXPECT_TRUE(t.test_bit(b));
+  // And every resident line now predicts present.
+  for (LineAddr l : resident) {
+    EXPECT_EQ(t.query(l), Prediction::kPresent);
+  }
+}
+
+TEST(RedhipTable, RecalibrationClearsStaleBits) {
+  TagArray llc(llc_geom());
+  RedhipTable t(small_pt());
+  t.on_fill(999);  // never actually in the LLC
+  EXPECT_EQ(t.query(999), Prediction::kPresent);
+  t.recalibrate(llc);  // empty LLC
+  EXPECT_EQ(t.query(999), Prediction::kAbsent);
+  EXPECT_EQ(t.bits_set(), 0u);
+}
+
+TEST(RedhipTable, NoFalseNegativesUnderChurnWithRecalibration) {
+  // DESIGN.md invariant 1, the core guarantee: at any moment, every
+  // resident line predicts kPresent.
+  TagArray llc(llc_geom(16_KiB, 4));  // 64 sets, 256 lines
+  RedhipTable t(small_pt(1 << 10));
+  Xoshiro256 rng(7);
+  std::set<LineAddr> resident;
+  for (int step = 0; step < 30'000; ++step) {
+    const LineAddr line = rng.below(1 << 12);
+    if (!llc.contains(line)) {
+      auto r = llc.fill(line);
+      t.on_fill(line);
+      resident.insert(line);
+      if (r.evicted) {
+        t.on_evict(r.victim);
+        resident.erase(r.victim);
+      }
+    }
+    if (step % 1000 == 999) t.recalibrate(llc);
+    if (step % 17 == 0) {
+      for (LineAddr l : resident) {
+        ASSERT_EQ(t.query(l), Prediction::kPresent)
+            << "false negative for resident line " << l << " at step " << step;
+      }
+    }
+  }
+}
+
+TEST(RedhipTable, SetContainmentProperty) {
+  // DESIGN.md invariant 4 (paper Fig. 3): with p > k, two lines that
+  // collide in the PT must also collide in the LLC set index.
+  TagArray llc(llc_geom(64_KiB, 16));  // k = 6 set bits
+  RedhipTable t(small_pt(1 << 12));    // p = 12
+  Xoshiro256 rng(12);
+  for (int i = 0; i < 50'000; ++i) {
+    const LineAddr a = rng.below(1 << 20);
+    const LineAddr b = rng.below(1 << 20);
+    if (t.index_of(a) == t.index_of(b)) {
+      ASSERT_EQ(llc.set_of(a), llc.set_of(b));
+    }
+  }
+}
+
+TEST(RedhipTable, StallCyclesMatchPaperFormula) {
+  // Paper: 64Ki sets, 16 tags/set/cycle, 4 banks in parallel -> 16Ki cycles.
+  CacheGeometry g;
+  g.size_bytes = 64_MiB;
+  g.ways = 16;
+  TagArray llc(g);
+  RedhipConfig c = small_pt(std::uint64_t{1} << 22);
+  c.banks = 4;
+  RedhipTable t(c);
+  EXPECT_EQ(t.recalibrate(llc), 16u * 1024u);
+}
+
+TEST(RedhipTable, RecalibrationIntervalCounting) {
+  TagArray llc(llc_geom());
+  RedhipConfig c = small_pt(1 << 12, /*interval=*/10);
+  RedhipTable t(c);
+  Cycles total_stall = 0;
+  for (int i = 0; i < 35; ++i) {
+    total_stall += t.note_l1_miss_and_maybe_recalibrate(llc);
+  }
+  EXPECT_EQ(t.events().recalibrations, 3u);
+  EXPECT_EQ(total_stall, 3u * (llc.sets() / c.banks));
+}
+
+TEST(RedhipTable, IntervalZeroNeverRecalibrates) {
+  TagArray llc(llc_geom());
+  RedhipTable t(small_pt(1 << 12, 0));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(t.note_l1_miss_and_maybe_recalibrate(llc), 0u);
+  }
+  EXPECT_EQ(t.events().recalibrations, 0u);
+}
+
+TEST(RedhipTable, IntervalOneRecalibratesEveryMiss) {
+  TagArray llc(llc_geom());
+  RedhipTable t(small_pt(1 << 12, 1));
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_GT(t.note_l1_miss_and_maybe_recalibrate(llc), 0u);
+  }
+  EXPECT_EQ(t.events().recalibrations, 5u);
+}
+
+TEST(RedhipTable, PerfectRecalEqualsFullRebuildAtEveryStep) {
+  // interval == 1 with an attached tag array is maintained incrementally
+  // (O(ways) per eviction); its contents must equal a from-scratch rebuild
+  // at every point in time.
+  TagArray llc(llc_geom(16_KiB, 4));
+  RedhipConfig c = small_pt(1 << 10, /*interval=*/1);
+  RedhipTable t(c);
+  t.attach_covered(&llc);
+  RedhipTable ref(small_pt(1 << 10, 0));
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 20'000; ++i) {
+    const LineAddr line = rng.below(1 << 12);
+    if (!llc.contains(line)) {
+      auto r = llc.fill(line);
+      if (r.evicted) t.on_evict(r.victim);
+      t.on_fill(line);
+      EXPECT_EQ(t.note_l1_miss_and_maybe_recalibrate(llc), 1u);
+    }
+    if (i % 500 == 0) {
+      ref.recalibrate(llc);
+      ASSERT_EQ(t.bits_set(), ref.bits_set()) << "step " << i;
+      for (std::uint64_t b = 0; b < (1u << 10); ++b) {
+        ASSERT_EQ(t.test_bit(b), ref.test_bit(b)) << "bit " << b;
+      }
+    }
+  }
+}
+
+TEST(RedhipTable, RecalEventsAccounting) {
+  TagArray llc(llc_geom());  // 64 sets
+  RedhipConfig c = small_pt(1 << 12);
+  RedhipTable t(c);
+  t.recalibrate(llc);
+  EXPECT_EQ(t.events().recal_sets_read, llc.sets());
+  EXPECT_EQ(t.events().recal_words_written, (1u << 12) / 64);
+}
+
+TEST(RedhipTable, RejectsBadConfig) {
+  EXPECT_THROW(RedhipTable(small_pt(100)), std::logic_error);   // not pow2
+  EXPECT_THROW(RedhipTable(small_pt(32)), std::logic_error);    // < one line
+  RedhipConfig c = small_pt();
+  c.banks = 3;
+  EXPECT_THROW(RedhipTable{c}, std::logic_error);
+}
+
+// ------------------------------------------------------------------- CBF
+
+CbfConfig small_cbf(std::uint32_t index_bits = 10,
+                    std::uint32_t counter_bits = 3) {
+  CbfConfig c;
+  c.index_bits = index_bits;
+  c.counter_bits = counter_bits;
+  return c;
+}
+
+TEST(Cbf, AreaBudgetPicksLargestFittingTable) {
+  // 512KB at 3-bit counters: 2^20 x 3 = 384KB fits, 2^21 x 3 = 768KB does
+  // not -> 20 index bits (the paper's evaluation budget).
+  const CbfConfig c = CbfConfig::for_area_budget(512_KiB);
+  EXPECT_EQ(c.index_bits, 20u);
+  EXPECT_EQ(c.counter_bits, 3u);
+  EXPECT_LE(c.storage_bits() / 8, 512_KiB);
+}
+
+TEST(Cbf, FillThenQueryThenEvict) {
+  CountingBloomFilter f(small_cbf());
+  EXPECT_EQ(f.query(5), Prediction::kAbsent);
+  f.on_fill(5);
+  EXPECT_EQ(f.query(5), Prediction::kPresent);
+  f.on_evict(5);
+  EXPECT_EQ(f.query(5), Prediction::kAbsent)
+      << "CBF counters track evictions (unlike the ReDHiP bit map)";
+}
+
+TEST(Cbf, CountsAliasesIndependently) {
+  CountingBloomFilter f(small_cbf());
+  // Two different lines with the same xor-fold index.
+  const LineAddr a = 1;
+  const LineAddr b = 1 | (1ull << 10) | (1ull << 20);  // folds need checking
+  const LineAddr target = f.index_of(a) == f.index_of(b) ? b : a;
+  f.on_fill(a);
+  f.on_fill(target);
+  f.on_evict(a);
+  if (f.index_of(a) == f.index_of(b)) {
+    EXPECT_EQ(f.query(b), Prediction::kPresent);
+  }
+}
+
+TEST(Cbf, SaturationDisablesEntryForever) {
+  CountingBloomFilter f(small_cbf(4, 2));  // max count 3
+  const LineAddr l = 9;
+  const std::uint64_t idx = f.index_of(l);
+  for (int i = 0; i < 3; ++i) f.on_fill(l);
+  EXPECT_FALSE(f.disabled(idx));
+  f.on_fill(l);  // 4th fill overflows the 2-bit counter
+  EXPECT_TRUE(f.disabled(idx));
+  // Decrements are now ignored; the entry sticks at "present".
+  for (int i = 0; i < 10; ++i) f.on_evict(l);
+  EXPECT_EQ(f.query(l), Prediction::kPresent);
+  EXPECT_EQ(f.disabled_count(), 1u);
+}
+
+TEST(Cbf, NoFalseNegativesUnderChurn) {
+  // The conservatism guarantee holds for the CBF too, including through
+  // saturation.
+  CountingBloomFilter f(small_cbf(8, 3));
+  TagArray llc(llc_geom(16_KiB, 4));
+  Xoshiro256 rng(3);
+  std::set<LineAddr> resident;
+  for (int step = 0; step < 30'000; ++step) {
+    const LineAddr line = rng.below(1 << 12);
+    if (llc.contains(line)) continue;
+    auto r = llc.fill(line);
+    f.on_fill(line);
+    resident.insert(line);
+    if (r.evicted) {
+      f.on_evict(r.victim);
+      resident.erase(r.victim);
+    }
+    if (step % 29 == 0) {
+      for (LineAddr l : resident) {
+        ASSERT_EQ(f.query(l), Prediction::kPresent);
+      }
+    }
+  }
+}
+
+TEST(Cbf, XorHashSpreadsHighBits) {
+  CountingBloomFilter f(small_cbf(10));
+  // bits-hash would alias these (same low 10 bits); xor-hash must not alias
+  // all of them.
+  std::set<std::uint64_t> indexes;
+  for (std::uint64_t hi = 0; hi < 16; ++hi) {
+    indexes.insert(f.index_of((hi << 40) | 0x2A));
+  }
+  EXPECT_GT(indexes.size(), 1u);
+}
+
+TEST(Cbf, RejectsBadConfig) {
+  EXPECT_THROW(CountingBloomFilter(small_cbf(0)), std::logic_error);
+  EXPECT_THROW(CountingBloomFilter(small_cbf(10, 0)), std::logic_error);
+  EXPECT_THROW(CountingBloomFilter(small_cbf(10, 9)), std::logic_error);
+}
+
+// ----------------------------------------------------------- PartialTag
+
+PartialTagPredictor small_ptag(std::uint32_t partial_bits = 8,
+                               std::uint64_t sets = 64,
+                               std::uint32_t ways = 16) {
+  PartialTagConfig c;
+  c.partial_bits = partial_bits;
+  return PartialTagPredictor(c, sets, ways, log2_exact(sets));
+}
+
+TEST(PartialTag, FillQueryEvict) {
+  auto p = small_ptag();
+  EXPECT_EQ(p.query(100), Prediction::kAbsent);
+  p.on_fill(100);
+  EXPECT_EQ(p.query(100), Prediction::kPresent);
+  p.on_evict(100);
+  EXPECT_EQ(p.query(100), Prediction::kAbsent);
+  EXPECT_EQ(p.occupancy(), 0u);
+}
+
+TEST(PartialTag, PartialCollisionGivesFalsePositiveOnly) {
+  auto p = small_ptag(8, 64, 16);
+  // Same set (low 6 bits), same partial tag (bits 6..13), different full
+  // tag (bit 14+): a false positive by construction.
+  const LineAddr a = 0x5;
+  const LineAddr b = a | (1ull << 20);
+  p.on_fill(a);
+  EXPECT_EQ(p.query(b), Prediction::kPresent) << "collision is conservative";
+  // Different partial tag in the same set: provable miss.
+  EXPECT_EQ(p.query(a | (1ull << 7)), Prediction::kAbsent);
+}
+
+TEST(PartialTag, MultisetSemanticsUnderSharedPartials) {
+  auto p = small_ptag();
+  const LineAddr a = 0x9;
+  const LineAddr b = a | (1ull << 20);  // same set, same partial tag
+  p.on_fill(a);
+  p.on_fill(b);
+  p.on_evict(a);
+  EXPECT_EQ(p.query(b), Prediction::kPresent)
+      << "one of two shared partials evicted; the other must survive";
+  p.on_evict(b);
+  EXPECT_EQ(p.query(b), Prediction::kAbsent);
+}
+
+TEST(PartialTag, NoFalseNegativesUnderChurn) {
+  TagArray llc(llc_geom(16_KiB, 4));  // 64 sets, 4 ways
+  PartialTagConfig c;
+  PartialTagPredictor p(c, llc.sets(), llc.ways(),
+                        llc.geometry().set_bits());
+  Xoshiro256 rng(77);
+  std::set<LineAddr> resident;
+  for (int step = 0; step < 30'000; ++step) {
+    const LineAddr line = rng.below(1 << 12);
+    if (llc.contains(line)) continue;
+    auto r = llc.fill(line);
+    if (r.evicted) {
+      p.on_evict(r.victim);
+      resident.erase(r.victim);
+    }
+    p.on_fill(line);
+    resident.insert(line);
+    if (step % 37 == 0) {
+      for (LineAddr l : resident) {
+        ASSERT_EQ(p.query(l), Prediction::kPresent);
+      }
+    }
+  }
+  EXPECT_EQ(p.occupancy(), resident.size());
+}
+
+TEST(PartialTag, StaysAccurateWithoutRecalibration) {
+  // The structural advantage over ReDHiP: accuracy does not decay.  After
+  // heavy churn, a probe for a long-gone line is still (usually) absent.
+  TagArray llc(llc_geom(16_KiB, 4));
+  PartialTagConfig c;
+  PartialTagPredictor p(c, llc.sets(), llc.ways(), llc.geometry().set_bits());
+  Xoshiro256 rng(78);
+  for (int i = 0; i < 50'000; ++i) {
+    const LineAddr line = rng.below(1 << 13);
+    if (llc.contains(line)) continue;
+    auto r = llc.fill(line);
+    if (r.evicted) p.on_evict(r.victim);
+    p.on_fill(line);
+  }
+  int agree = 0, probes = 0;
+  for (LineAddr l = 0; l < (1 << 13); l += 7) {
+    ++probes;
+    const bool predicted = p.query(l) == Prediction::kPresent;
+    const bool actual = llc.contains(l);
+    if (actual) ASSERT_TRUE(predicted) << "false negative";
+    if (predicted == actual) ++agree;
+  }
+  EXPECT_GT(static_cast<double>(agree) / probes, 0.9)
+      << "8-bit partials should be within ~6% false positives";
+}
+
+TEST(PartialTag, StorageAccounting) {
+  auto p = small_ptag(8, 64, 16);
+  EXPECT_EQ(p.storage_bits(), 64u * 16u * 9u);
+}
+
+TEST(PartialTag, RejectsBadConfig) {
+  PartialTagConfig c;
+  c.partial_bits = 0;
+  EXPECT_THROW(PartialTagPredictor(c, 64, 16, 6), std::logic_error);
+  c.partial_bits = 8;
+  EXPECT_THROW(PartialTagPredictor(c, 63, 16, 6), std::logic_error);
+}
+
+// ---------------------------------------------------------------- Oracle
+
+TEST(Oracle, MirrorsTagArrayExactly) {
+  TagArray llc(llc_geom());
+  OraclePredictor o(&llc);
+  EXPECT_EQ(o.query(4), Prediction::kAbsent);
+  llc.fill(4);
+  EXPECT_EQ(o.query(4), Prediction::kPresent);
+  llc.invalidate(4);
+  EXPECT_EQ(o.query(4), Prediction::kAbsent);
+  EXPECT_EQ(o.lookup_delay(), 0u);
+}
+
+TEST(Oracle, NeverWrongUnderChurn) {
+  TagArray llc(llc_geom(8_KiB, 4));
+  OraclePredictor o(&llc);
+  Xoshiro256 rng(21);
+  for (int i = 0; i < 20'000; ++i) {
+    const LineAddr line = rng.below(1 << 10);
+    const bool resident = llc.contains(line);
+    ASSERT_EQ(o.query(line) == Prediction::kPresent, resident);
+    if (!resident && rng.chance_ppm(500'000)) llc.fill(line);
+    if (resident && rng.chance_ppm(200'000)) llc.invalidate(line);
+  }
+}
+
+}  // namespace
+}  // namespace redhip

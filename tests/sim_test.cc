@@ -1,0 +1,559 @@
+// Tests for src/sim: access-path semantics (latency and event accounting per
+// scheme), inclusion-policy invariants, predictor integration (including the
+// no-false-negative guarantee at the simulator level), recalibration stalls,
+// prefetch integration, and determinism.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "harness/run.h"
+#include "sim/simulator.h"
+#include "trace/mem_ref.h"
+#include "trace/workloads.h"
+
+namespace redhip {
+namespace {
+
+// A tiny 1-core machine with easy-to-check numbers:
+//   L1: 1KB 2-way, delay 2, energy 1 nJ
+//   L2: 4KB 4-way, delay 6, energy 2 nJ
+//   L3: 16KB 4-way, phased-capable, tag 9 / data 12, tag 3 / data 9 nJ
+//   L4: 64KB 8-way (shared/LLC), tag 13 / data 22, tag 4 / data 20 nJ
+HierarchyConfig tiny_config(Scheme scheme,
+                            InclusionPolicy incl = InclusionPolicy::kInclusive,
+                            std::uint32_t cores = 1) {
+  HierarchyConfig c;
+  c.cores = cores;
+  c.scheme = scheme;
+  c.inclusion = incl;
+  auto mk = [](std::uint64_t size, std::uint32_t ways, Cycles td, Cycles dd,
+               double te, double de) {
+    LevelSpec l;
+    l.geom.size_bytes = size;
+    l.geom.ways = ways;
+    l.energy = LevelEnergyParams{"", td, dd, te, de, 0.1};
+    return l;
+  };
+  c.levels = {mk(1_KiB, 2, 0, 2, 0.0, 1.0), mk(4_KiB, 4, 0, 6, 0.0, 2.0),
+              mk(16_KiB, 4, 9, 12, 3.0, 9.0), mk(64_KiB, 8, 13, 22, 4.0, 20.0)};
+  if (scheme == Scheme::kPhased) {
+    c.levels[2].phased = true;
+    c.levels[3].phased = true;
+  }
+  c.redhip.table_bits = 1 << 13;  // p=13 > k(LLC)=7
+  c.redhip.recal_interval_l1_misses = 0;
+  c.cbf.index_bits = 12;
+  return c;
+}
+
+std::vector<std::unique_ptr<TraceSource>> empty_traces(std::uint32_t cores) {
+  std::vector<std::unique_ptr<TraceSource>> t;
+  for (std::uint32_t i = 0; i < cores; ++i) {
+    t.push_back(std::make_unique<VectorTraceSource>(std::vector<MemRef>{}));
+  }
+  return t;
+}
+
+MulticoreSimulator make_sim(const HierarchyConfig& c) {
+  return MulticoreSimulator(c, empty_traces(c.cores),
+                            std::vector<std::uint32_t>(c.cores, 100));
+}
+
+MemRef ref_at(Addr addr) { return MemRef{addr, 0, 0, false}; }
+
+// ------------------------------------------------------- base access path
+
+TEST(BaseAccess, FullMissWalksEveryLevelThenHitsL1) {
+  auto sim = make_sim(tiny_config(Scheme::kBase));
+  // Cold miss: misses resolve at tag-compare time, so the walk costs
+  // L1(2) + L2(6) + L3 tag(9) + L4 tag(13) + mem(0) = 30.
+  EXPECT_EQ(sim.access_for_test(0, ref_at(0x10000)), 30u);
+  // Now resident everywhere: L1 hit = 2.
+  EXPECT_EQ(sim.access_for_test(0, ref_at(0x10000)), 2u);
+  // Same line, different word: still an L1 hit.
+  EXPECT_EQ(sim.access_for_test(0, ref_at(0x10008)), 2u);
+  for (std::uint32_t lvl = 0; lvl < 4; ++lvl) {
+    EXPECT_TRUE(sim.level_array_for_test(lvl, 0).contains(0x10000 >> 6))
+        << "inclusive fill must install at level " << lvl;
+  }
+}
+
+TEST(BaseAccess, MemoryLatencyAddsToTheMissPath) {
+  HierarchyConfig c = tiny_config(Scheme::kBase);
+  c.memory_latency = 200;
+  auto sim = make_sim(c);
+  EXPECT_EQ(sim.access_for_test(0, ref_at(0)), 230u);
+}
+
+TEST(BaseAccess, HitAtIntermediateLevelFillsUpward) {
+  auto sim = make_sim(tiny_config(Scheme::kBase));
+  sim.access_for_test(0, ref_at(0x20000));
+  // Thrash it out of L1 (8 sets, 2-way) and L2 (16 sets, 4-way) with lines
+  // 16 lines (1KB) apart — those share the L1/L2 set but spread across four
+  // L3 sets (64 sets), so 0x20000 stays resident in L3.  The next access
+  // should then hit L3: 2 + 6 + 12 = 20.
+  for (int i = 1; i <= 8; ++i) {
+    sim.access_for_test(0, ref_at(0x20000 + i * 16 * 64));
+  }
+  // 0x20000 should by now be out of L1 (2-way) and L2 (4-way) but in L3.
+  const Cycles lat = sim.access_for_test(0, ref_at(0x20000));
+  EXPECT_EQ(lat, 20u);
+}
+
+TEST(BaseAccess, EventCountersAddUp) {
+  auto sim = make_sim(tiny_config(Scheme::kBase));
+  for (int i = 0; i < 10; ++i) sim.access_for_test(0, ref_at(i * 4_KiB));
+  for (int i = 0; i < 10; ++i) sim.access_for_test(0, ref_at(i * 4_KiB));
+  // 10 cold misses + 10 L1 hits (adjacent lines spread over the 8 L1 sets,
+  // at most 2 per set = associativity, so nothing is evicted).
+  std::vector<MemRef> refs;
+  for (int i = 0; i < 10; ++i) refs.push_back(ref_at(i * 64));
+  for (int i = 0; i < 10; ++i) refs.push_back(ref_at(i * 64));
+  HierarchyConfig c = tiny_config(Scheme::kBase);
+  std::vector<std::unique_ptr<TraceSource>> t;
+  t.push_back(std::make_unique<VectorTraceSource>(refs));
+  MulticoreSimulator sim2(c, std::move(t), {100});
+  const SimResult r = sim2.run(refs.size());
+  EXPECT_EQ(r.levels[0].accesses, 20u);
+  EXPECT_EQ(r.levels[0].hits, 10u);
+  EXPECT_EQ(r.levels[0].misses, 10u);
+  EXPECT_EQ(r.levels[1].accesses, 10u);
+  EXPECT_EQ(r.levels[3].misses, 10u);
+  EXPECT_EQ(r.demand_memory_accesses, 10u);
+  EXPECT_EQ(r.levels[0].fills, 10u);
+  EXPECT_EQ(r.levels[3].fills, 10u);
+  EXPECT_EQ(r.total_refs, 20u);
+}
+
+// ----------------------------------------------------------- phased access
+
+TEST(PhasedAccess, MissPaysTagOnlyHitPaysTagPlusData) {
+  auto sim = make_sim(tiny_config(Scheme::kPhased));
+  // Cold miss: L1(2) + L2(6) + L3 tag(9) + L4 tag(13) = 30.
+  EXPECT_EQ(sim.access_for_test(0, ref_at(0x30000)), 30u);
+  // Thrash it out of L1/L2, keep in L3: hit pays tag+data = 9+12 = 21.
+  for (int i = 1; i <= 8; ++i) {
+    sim.access_for_test(0, ref_at(0x30000 + i * 16 * 64));
+  }
+  EXPECT_EQ(sim.access_for_test(0, ref_at(0x30000)), 2 + 6 + 21u);
+}
+
+TEST(PhasedAccess, MissSavesDataArrayEnergy) {
+  std::vector<MemRef> refs;
+  for (int i = 0; i < 100; ++i) refs.push_back(ref_at(i * 1_MiB));
+  auto run_with = [&](Scheme s) {
+    HierarchyConfig c = tiny_config(s);
+    std::vector<std::unique_ptr<TraceSource>> t;
+    t.push_back(std::make_unique<VectorTraceSource>(refs));
+    MulticoreSimulator sim(c, std::move(t), {100});
+    return sim.run(refs.size());
+  };
+  const SimResult base = run_with(Scheme::kBase);
+  const SimResult phased = run_with(Scheme::kPhased);
+  // All-miss workload: phased never touches the L3/L4 data arrays.
+  EXPECT_EQ(phased.levels[2].data_probes, 0u);
+  EXPECT_EQ(phased.levels[3].data_probes, 0u);
+  EXPECT_EQ(base.levels[2].data_probes, 100u);
+  EXPECT_LT(phased.energy.level_dynamic_j[3], base.energy.level_dynamic_j[3]);
+  // But the same behavioural outcome.
+  EXPECT_EQ(phased.demand_memory_accesses, base.demand_memory_accesses);
+}
+
+// ----------------------------------------------------------- ReDHiP access
+
+TEST(RedhipAccess, BypassSkipsAllLowerLevels) {
+  HierarchyConfig c = tiny_config(Scheme::kRedhip);
+  auto sim = make_sim(c);
+  // Cold miss with an empty PT: predicted absent -> L1(2) + PT(6) + mem(0).
+  EXPECT_EQ(sim.access_for_test(0, ref_at(0x40000)), 8u);
+  const auto* pred = sim.llc_predictor_for_test();
+  ASSERT_NE(pred, nullptr);
+  EXPECT_EQ(pred->events().predicted_absent, 1u);
+  // The fill set the PT bit; a conflicting L1/L2 line later walks normally.
+  EXPECT_EQ(sim.access_for_test(0, ref_at(0x40000)), 2u);  // L1 hit
+}
+
+TEST(RedhipAccess, PredictedPresentWalksTheHierarchy) {
+  auto sim = make_sim(tiny_config(Scheme::kRedhip));
+  sim.access_for_test(0, ref_at(0x50000));  // bypass; PT bit now set
+  // Thrash L1/L2 with same-set lines that stay clear of 0x50000's L3 set.
+  for (int i = 1; i <= 8; ++i) {
+    sim.access_for_test(0, ref_at(0x50000 + i * 16 * 64));
+  }
+  // Hit in L3 after the PT says "maybe": 2 + 6(PT) + 6(L2) + 12(L3) = 26.
+  EXPECT_EQ(sim.access_for_test(0, ref_at(0x50000)), 26u);
+}
+
+TEST(RedhipAccess, NeverBypassesAResidentLine) {
+  // The no-false-negative invariant, enforced against the live simulator:
+  // whenever the PT predicts absent, the LLC must not contain the line.
+  HierarchyConfig c = tiny_config(Scheme::kRedhip);
+  c.redhip.recal_interval_l1_misses = 64;
+  auto sim = make_sim(c);
+  auto* pred = const_cast<LlcPredictor*>(sim.llc_predictor_for_test());
+  Xoshiro256 rng(99);
+  for (int i = 0; i < 50'000; ++i) {
+    const Addr addr = rng.below(1 << 22);
+    const LineAddr line = addr >> 6;
+    const bool resident = sim.level_array_for_test(3, 0).contains(line);
+    if (pred->query(line) == Prediction::kAbsent) {
+      ASSERT_FALSE(resident) << "bypass would hide on-chip data, ref " << i;
+    }
+    sim.access_for_test(0, ref_at(addr));
+  }
+}
+
+TEST(RedhipAccess, RecalibrationStallsShowUp) {
+  RunSpec spec;
+  spec.bench = BenchmarkId::kMcf;
+  spec.scheme = Scheme::kRedhip;
+  spec.scale = 32;
+  spec.refs_per_core = 30'000;
+  spec.tweak = [](HierarchyConfig& c) {
+    c.redhip.recal_interval_l1_misses = 1000;
+  };
+  const SimResult r = run_spec(spec);
+  EXPECT_GT(r.predictor.recalibrations, 0u);
+  EXPECT_GT(r.recal_stall_cycles, 0u);
+  EXPECT_GT(r.predictor.recal_sets_read, 0u);
+  EXPECT_GT(r.energy.recalibration_j, 0.0);
+}
+
+TEST(RedhipAccess, StaleBitsCauseFalsePositivesUntilRecalibration) {
+  RunSpec spec;
+  spec.bench = BenchmarkId::kMcf;
+  spec.scheme = Scheme::kRedhip;
+  spec.scale = 32;
+  spec.refs_per_core = 50'000;
+  spec.tweak = [](HierarchyConfig& c) {
+    c.redhip.recal_interval_l1_misses = 0;  // never recalibrate
+  };
+  const SimResult never = run_spec(spec);
+  spec.tweak = [](HierarchyConfig& c) {
+    c.redhip.recal_interval_l1_misses = 2000;
+  };
+  const SimResult often = run_spec(spec);
+  // Recalibration can only remove stale bits -> more bypasses, fewer wasted
+  // walks.
+  EXPECT_GT(often.predictor.predicted_absent, never.predictor.predicted_absent);
+  EXPECT_LT(often.predictor.false_positives, never.predictor.false_positives);
+}
+
+// ------------------------------------------------------------ CBF + Oracle
+
+TEST(CbfAccess, BypassesAndTracksEvictions) {
+  auto sim = make_sim(tiny_config(Scheme::kCbf));
+  EXPECT_EQ(sim.access_for_test(0, ref_at(0x60000)), 8u);  // bypass
+  const auto* pred = sim.llc_predictor_for_test();
+  EXPECT_EQ(pred->events().predicted_absent, 1u);
+}
+
+TEST(OracleAccess, ZeroOverheadBypass) {
+  auto sim = make_sim(tiny_config(Scheme::kOracle));
+  // Oracle has no lookup delay: cold miss = L1(2) + mem(0) = 2.
+  EXPECT_EQ(sim.access_for_test(0, ref_at(0x70000)), 2u);
+  EXPECT_EQ(sim.access_for_test(0, ref_at(0x70000)), 2u);  // L1 hit
+}
+
+TEST(SchemeOrdering, OracleBypassesAtLeastAsOftenAsRedhipAndCbf) {
+  RunSpec spec;
+  spec.bench = BenchmarkId::kMcf;
+  spec.scale = 32;
+  spec.refs_per_core = 40'000;
+  spec.scheme = Scheme::kOracle;
+  const SimResult oracle = run_spec(spec);
+  spec.scheme = Scheme::kRedhip;
+  const SimResult redhip = run_spec(spec);
+  spec.scheme = Scheme::kCbf;
+  const SimResult cbf = run_spec(spec);
+  // Conservative predictors can only bypass a subset of true LLC misses.
+  EXPECT_GE(oracle.predictor.predicted_absent,
+            redhip.predictor.predicted_absent);
+  EXPECT_EQ(oracle.predictor.false_positives, 0u);
+  EXPECT_GT(redhip.predictor.predicted_absent, 0u);
+  EXPECT_GT(cbf.predictor.predicted_absent, 0u);
+}
+
+// ------------------------------------------------------ inclusion policies
+
+// Collect every line of an array.
+std::set<LineAddr> lines_of(const TagArray& a) {
+  std::set<LineAddr> s;
+  a.for_each_valid([&](LineAddr l) { s.insert(l); });
+  return s;
+}
+
+TEST(InclusionInvariant, InclusiveUpperLevelsAreSubsets) {
+  for (Scheme s : {Scheme::kBase, Scheme::kRedhip}) {
+    HierarchyConfig c = tiny_config(s, InclusionPolicy::kInclusive, 2);
+    auto sim = make_sim(c);
+    Xoshiro256 rng(7);
+    for (int i = 0; i < 30'000; ++i) {
+      sim.access_for_test(static_cast<CoreId>(i & 1),
+                          ref_at(rng.below(1 << 21)));
+    }
+    for (CoreId core = 0; core < 2; ++core) {
+      for (std::uint32_t lvl = 0; lvl < 3; ++lvl) {
+        const auto upper = lines_of(sim.level_array_for_test(lvl, core));
+        const TagArray& lower = sim.level_array_for_test(lvl + 1, core);
+        for (LineAddr l : upper) {
+          ASSERT_TRUE(lower.contains(l))
+              << to_string(s) << ": line in L" << lvl + 1
+              << " missing from L" << lvl + 2;
+        }
+      }
+    }
+  }
+}
+
+TEST(InclusionInvariant, ExclusiveLevelsAreDisjoint) {
+  for (Scheme s : {Scheme::kBase, Scheme::kRedhip, Scheme::kOracle}) {
+    HierarchyConfig c = tiny_config(s, InclusionPolicy::kExclusive);
+    auto sim = make_sim(c);
+    Xoshiro256 rng(11);
+    for (int i = 0; i < 30'000; ++i) {
+      sim.access_for_test(0, ref_at(rng.below(1 << 21)));
+    }
+    std::set<LineAddr> all;
+    std::uint64_t total = 0;
+    for (std::uint32_t lvl = 0; lvl < 4; ++lvl) {
+      const auto ls = lines_of(sim.level_array_for_test(lvl, 0));
+      total += ls.size();
+      all.insert(ls.begin(), ls.end());
+    }
+    ASSERT_EQ(all.size(), total)
+        << to_string(s) << ": levels share lines in exclusive mode";
+  }
+}
+
+TEST(InclusionInvariant, HybridPrivatesDisjointLlcCoversAll) {
+  for (Scheme s : {Scheme::kBase, Scheme::kRedhip, Scheme::kCbf}) {
+    HierarchyConfig c = tiny_config(s, InclusionPolicy::kHybrid);
+    auto sim = make_sim(c);
+    Xoshiro256 rng(13);
+    for (int i = 0; i < 30'000; ++i) {
+      sim.access_for_test(0, ref_at(rng.below(1 << 21)));
+    }
+    std::set<LineAddr> priv;
+    std::uint64_t total = 0;
+    for (std::uint32_t lvl = 0; lvl < 3; ++lvl) {
+      const auto ls = lines_of(sim.level_array_for_test(lvl, 0));
+      total += ls.size();
+      priv.insert(ls.begin(), ls.end());
+    }
+    ASSERT_EQ(priv.size(), total) << to_string(s) << ": private levels share";
+    const TagArray& llc = sim.level_array_for_test(3, 0);
+    for (LineAddr l : priv) {
+      ASSERT_TRUE(llc.contains(l))
+          << to_string(s) << ": hybrid LLC must include all private lines";
+    }
+  }
+}
+
+TEST(ExclusiveAccess, HitMovesLineToL1) {
+  HierarchyConfig c = tiny_config(Scheme::kBase, InclusionPolicy::kExclusive);
+  auto sim = make_sim(c);
+  sim.access_for_test(0, ref_at(0x80000));  // miss -> installs in L1 only
+  EXPECT_TRUE(sim.level_array_for_test(0, 0).contains(0x80000 >> 6));
+  EXPECT_FALSE(sim.level_array_for_test(3, 0).contains(0x80000 >> 6));
+  // Conflict it out of L1 (2-way, 8 sets -> lines 512B apart conflict).
+  sim.access_for_test(0, ref_at(0x80000 + 4096));
+  sim.access_for_test(0, ref_at(0x80000 + 8192));
+  EXPECT_FALSE(sim.level_array_for_test(0, 0).contains(0x80000 >> 6));
+  EXPECT_TRUE(sim.level_array_for_test(1, 0).contains(0x80000 >> 6))
+      << "L1 victim must cascade into L2";
+  // Re-access: must move back to L1 and leave L2.
+  sim.access_for_test(0, ref_at(0x80000));
+  EXPECT_TRUE(sim.level_array_for_test(0, 0).contains(0x80000 >> 6));
+  EXPECT_FALSE(sim.level_array_for_test(1, 0).contains(0x80000 >> 6));
+}
+
+TEST(ExclusiveAccess, RedhipSkipsLevelsItPredictsEmpty) {
+  HierarchyConfig c = tiny_config(Scheme::kRedhip, InclusionPolicy::kExclusive);
+  c.redhip.recal_interval_l1_misses = 0;
+  auto sim = make_sim(c);
+  // Cold miss: all per-level PTs empty -> all levels skipped.
+  sim.access_for_test(0, ref_at(0x90000));
+  std::vector<MemRef> refs;  // replay through run() to read the counters
+  HierarchyConfig c2 = tiny_config(Scheme::kRedhip, InclusionPolicy::kExclusive);
+  std::vector<std::unique_ptr<TraceSource>> t;
+  t.push_back(std::make_unique<VectorTraceSource>(
+      std::vector<MemRef>{ref_at(0x90000), ref_at(0xA0000)}));
+  MulticoreSimulator sim2(c2, std::move(t), {100});
+  const SimResult r = sim2.run(2);
+  EXPECT_EQ(r.levels[1].skipped + r.levels[2].skipped + r.levels[3].skipped,
+            6u);
+  EXPECT_EQ(r.levels[1].accesses, 0u);
+}
+
+// ------------------------------------------------------------ multi-core
+
+TEST(MultiCore, SharedLlcSeesAllCoresPrivateLevelsDoNot) {
+  HierarchyConfig c = tiny_config(Scheme::kBase, InclusionPolicy::kInclusive,
+                                  /*cores=*/4);
+  std::vector<std::unique_ptr<TraceSource>> traces;
+  for (CoreId core = 0; core < 4; ++core) {
+    std::vector<MemRef> refs;
+    for (int i = 0; i < 50; ++i) {
+      refs.push_back(ref_at((static_cast<Addr>(core) << 30) + i * 64));
+    }
+    traces.push_back(std::make_unique<VectorTraceSource>(refs));
+  }
+  MulticoreSimulator sim(c, std::move(traces),
+                         std::vector<std::uint32_t>(4, 100));
+  const SimResult r = sim.run(50);
+  EXPECT_EQ(r.levels[0].accesses, 200u);
+  EXPECT_EQ(r.levels[3].accesses, 200u);  // all cold misses reach the LLC
+  EXPECT_EQ(r.core_cycles.size(), 4u);
+  for (Cycles cc : r.core_cycles) EXPECT_GT(cc, 0u);
+  EXPECT_EQ(r.exec_cycles,
+            *std::max_element(r.core_cycles.begin(), r.core_cycles.end()));
+}
+
+TEST(MultiCore, CpiGapsAdvanceClocks) {
+  HierarchyConfig c = tiny_config(Scheme::kBase);
+  std::vector<std::unique_ptr<TraceSource>> t;
+  t.push_back(std::make_unique<VectorTraceSource>(std::vector<MemRef>{
+      MemRef{0, 0, 10, false}, MemRef{0, 0, 10, false}}));
+  MulticoreSimulator sim(c, std::move(t), {150});  // CPI 1.5
+  const SimResult r = sim.run(2);
+  // 2 gaps of 10 instructions at CPI 1.5 = 30 cycles + 30 (cold miss)
+  // + 2 (L1 hit) = 62.
+  EXPECT_EQ(r.exec_cycles, 62u);
+}
+
+TEST(Determinism, IdenticalSeedsGiveIdenticalResults) {
+  RunSpec spec;
+  spec.bench = BenchmarkId::kMilc;
+  spec.scheme = Scheme::kRedhip;
+  spec.scale = 32;
+  spec.refs_per_core = 20'000;
+  const SimResult a = run_spec(spec);
+  const SimResult b = run_spec(spec);
+  EXPECT_EQ(a.exec_cycles, b.exec_cycles);
+  EXPECT_EQ(a.total_refs, b.total_refs);
+  EXPECT_EQ(a.demand_memory_accesses, b.demand_memory_accesses);
+  for (int lvl = 0; lvl < 4; ++lvl) {
+    EXPECT_EQ(a.levels[lvl].hits, b.levels[lvl].hits);
+    EXPECT_EQ(a.levels[lvl].misses, b.levels[lvl].misses);
+  }
+  EXPECT_EQ(a.predictor.predicted_absent, b.predictor.predicted_absent);
+  EXPECT_DOUBLE_EQ(a.energy.total_j(), b.energy.total_j());
+}
+
+// --------------------------------------------------------------- prefetch
+
+TEST(Prefetch, StreamingWorkloadGetsUsefulPrefetches) {
+  HierarchyConfig c = tiny_config(Scheme::kBase);
+  c.prefetch = true;
+  std::vector<MemRef> refs;
+  for (int i = 0; i < 4000; ++i) {
+    refs.push_back(MemRef{static_cast<Addr>(0x100000 + i * 64), 0x42, 0,
+                          false});
+  }
+  std::vector<std::unique_ptr<TraceSource>> t;
+  t.push_back(std::make_unique<VectorTraceSource>(refs));
+  MulticoreSimulator sim(c, std::move(t), {100});
+  const SimResult r = sim.run(refs.size());
+  EXPECT_GT(r.prefetch.issued, 100u);
+  EXPECT_GT(r.prefetch.useful, 100u);
+  // Demand stream should now mostly hit in L2 instead of going off-chip.
+  EXPECT_LT(r.demand_memory_accesses, 4000u / 2);
+}
+
+TEST(Prefetch, SpeedsUpStreamsAndCostsEnergy) {
+  RunSpec spec;
+  spec.bench = BenchmarkId::kLbm;  // pure streaming
+  spec.scale = 32;
+  spec.refs_per_core = 40'000;
+  spec.scheme = Scheme::kBase;
+  const SimResult base = run_spec(spec);
+  spec.prefetch = true;
+  const SimResult sp = run_spec(spec);
+  const Comparison cmp = compare(base, sp);
+  EXPECT_GT(cmp.speedup, 1.02) << "stride prefetch must help lbm";
+}
+
+TEST(Prefetch, CombinedWithRedhipKeepsTheInvariant) {
+  RunSpec spec;
+  spec.bench = BenchmarkId::kBwaves;
+  spec.scale = 32;
+  spec.refs_per_core = 30'000;
+  spec.scheme = Scheme::kRedhip;
+  spec.prefetch = true;
+  const SimResult r = run_spec(spec);
+  EXPECT_GT(r.prefetch.issued, 0u);
+  EXPECT_GT(r.predictor.predicted_absent, 0u);
+  // PT lookups include both demand misses and prefetch probes.
+  EXPECT_GE(r.predictor.lookups,
+            r.predictor.predicted_absent + r.predictor.predicted_present);
+}
+
+// ------------------------------------------------------------ energy wiring
+
+TEST(Energy, DeepLevelsDominateDynamicEnergyOnMissHeavyWorkloads) {
+  RunSpec spec;
+  spec.bench = BenchmarkId::kMcf;
+  spec.scale = 32;
+  spec.refs_per_core = 40'000;
+  const SimResult r = run_spec(spec);
+  const auto& e = r.energy.level_dynamic_j;
+  EXPECT_GT((e[2] + e[3]) / r.energy.dynamic_total_j(), 0.5)
+      << "the paper's motivating observation";
+  EXPECT_GT(r.energy.leakage_j, 0.0);
+}
+
+TEST(Energy, RedhipReducesDynamicEnergyOnMissHeavyWorkloads) {
+  RunSpec spec;
+  spec.bench = BenchmarkId::kMcf;
+  spec.scale = 32;
+  spec.refs_per_core = 40'000;
+  spec.scheme = Scheme::kBase;
+  const SimResult base = run_spec(spec);
+  spec.scheme = Scheme::kRedhip;
+  const SimResult redhip = run_spec(spec);
+  const Comparison cmp = compare(base, redhip);
+  EXPECT_LT(cmp.dyn_energy_ratio, 0.9);
+  EXPECT_GT(cmp.speedup, 1.0);
+}
+
+TEST(Config, ValidateCatchesBadSetups) {
+  HierarchyConfig c = tiny_config(Scheme::kRedhip);
+  c.redhip.table_bits = 64;  // p=6 <= k=7 violates the containment property
+  EXPECT_THROW(c.validate(), std::logic_error);
+  HierarchyConfig c2 = tiny_config(Scheme::kCbf, InclusionPolicy::kExclusive);
+  EXPECT_THROW(c2.validate(), std::logic_error);
+  HierarchyConfig c3 = tiny_config(Scheme::kBase);
+  c3.prefetch = true;
+  c3.inclusion = InclusionPolicy::kExclusive;
+  EXPECT_THROW(c3.validate(), std::logic_error);
+}
+
+TEST(Config, ScaledPreservesStructuralInvariants) {
+  for (std::uint32_t scale : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    const HierarchyConfig c = HierarchyConfig::scaled(scale, Scheme::kRedhip);
+    // p - k stays 6: one 64-bit PT line per LLC set at every scale.
+    EXPECT_EQ(c.redhip.index_bits() - c.llc().geom.set_bits(), 6u)
+        << "scale " << scale;
+    // PT stays at the paper's 0.78% of LLC capacity.
+    EXPECT_NEAR(static_cast<double>(c.redhip.table_bits / 8) /
+                    static_cast<double>(c.llc().geom.size_bytes),
+                0.0078, 0.0001);
+  }
+}
+
+TEST(Config, PaperConfigMatchesTableI) {
+  const HierarchyConfig c = HierarchyConfig::paper(Scheme::kRedhip);
+  EXPECT_EQ(c.cores, 8u);
+  EXPECT_EQ(c.levels[0].geom.size_bytes, 32_KiB);
+  EXPECT_EQ(c.levels[3].geom.size_bytes, 64_MiB);
+  EXPECT_EQ(c.levels[3].geom.ways, 16u);
+  EXPECT_EQ(c.redhip.table_bits, std::uint64_t{1} << 22);
+  EXPECT_EQ(c.redhip.recal_interval_l1_misses, 1'000'000u);
+  EXPECT_EQ(c.cbf.index_bits, 20u);
+}
+
+}  // namespace
+}  // namespace redhip

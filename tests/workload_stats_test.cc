@@ -1,0 +1,119 @@
+// Statistical sanity tests on the synthetic workloads: the properties the
+// calibration relies on (address discipline, write fractions, PC stability,
+// working-set footprints) hold for every benchmark and scale.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "trace/mem_ref.h"
+#include "trace/workloads.h"
+
+namespace redhip {
+namespace {
+
+struct Stats {
+  std::uint64_t refs = 0;
+  std::uint64_t writes = 0;
+  std::set<LineAddr> lines;
+  std::set<std::uint32_t> pcs;
+  double gap_sum = 0;
+};
+
+Stats collect(BenchmarkId id, CoreId core, std::uint32_t scale,
+              std::uint64_t n, std::uint64_t seed = 7) {
+  auto src = make_workload(id, core, scale, seed);
+  Stats s;
+  MemRef m;
+  for (std::uint64_t i = 0; i < n && src->next(m); ++i) {
+    ++s.refs;
+    s.writes += m.is_write;
+    s.lines.insert(m.addr >> kDefaultLineShift);
+    s.pcs.insert(m.pc);
+    s.gap_sum += m.gap;
+  }
+  return s;
+}
+
+class WorkloadStats : public ::testing::TestWithParam<BenchmarkId> {};
+
+TEST_P(WorkloadStats, WriteFractionIsRealistic) {
+  const Stats s = collect(GetParam(), 0, 16, 60'000);
+  const double wf = static_cast<double>(s.writes) / s.refs;
+  EXPECT_GT(wf, 0.01) << "every application writes something";
+  EXPECT_LT(wf, 0.55) << "reads dominate real memory traffic";
+}
+
+TEST_P(WorkloadStats, PcSetIsSmallAndStable) {
+  // A handful of instruction sites per kernel, as real loops have — this is
+  // what the PC-indexed stride prefetcher keys on.
+  const Stats s = collect(GetParam(), 0, 16, 60'000);
+  EXPECT_GE(s.pcs.size(), 2u);
+  EXPECT_LE(s.pcs.size(), 64u);
+}
+
+TEST_P(WorkloadStats, FootprintScalesDownWithScale) {
+  if (GetParam() == BenchmarkId::kLbm) {
+    // Pure streaming touches refs/16 lines regardless of region size until
+    // the sweep wraps — no scale-dependent footprint inside a short window.
+    GTEST_SKIP() << "streaming footprint is window-bound, not region-bound";
+  }
+  const Stats big = collect(GetParam(), 0, 8, 80'000);
+  const Stats small = collect(GetParam(), 0, 64, 80'000);
+  EXPECT_GT(big.lines.size(), small.lines.size())
+      << "scale divisor must shrink the touched working set";
+}
+
+TEST_P(WorkloadStats, GapMeanTracksTheTraits) {
+  const Stats s = collect(GetParam(), 3, 16, 40'000);
+  const BenchmarkId effective = GetParam() == BenchmarkId::kMix
+                                    ? spec_benchmarks()[3]
+                                    : GetParam();
+  EXPECT_NEAR(s.gap_sum / static_cast<double>(s.refs),
+              static_cast<double>(traits_of(effective).gap_mean), 0.3);
+}
+
+TEST_P(WorkloadStats, AddressesStayInTheCoreAsid) {
+  auto src = make_workload(GetParam(), 5, 16, 9);
+  MemRef m;
+  for (int i = 0; i < 20'000; ++i) {
+    ASSERT_TRUE(src->next(m));
+    ASSERT_EQ(m.addr >> 40, 6u) << "core 5's ASID is (5+1)";
+  }
+}
+
+TEST_P(WorkloadStats, CoresAreDecorrelatedInTheLowBits) {
+  // The jitter property behind the bits-hash fidelity fix (DESIGN.md
+  // "Modeling decisions" #3): two cores running the same profile must not
+  // walk the same low-address-bit sequence in lockstep.
+  auto a = make_workload(GetParam(), 0, 16, 9);
+  auto b = make_workload(GetParam(), 1, 16, 9);
+  MemRef ma, mb;
+  const std::uint64_t mask = (1ull << 28) - 1;  // below the ASID, above lines
+  int collisions = 0;
+  const int kN = 5'000;
+  for (int i = 0; i < kN; ++i) {
+    a->next(ma);
+    b->next(mb);
+    collisions += ((ma.addr & mask) == (mb.addr & mask));
+  }
+  EXPECT_LT(collisions, kN / 20)
+      << "lockstep low-bit aliasing would fabricate PT false positives";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, WorkloadStats,
+                         ::testing::ValuesIn(all_benchmarks()),
+                         [](const ::testing::TestParamInfo<BenchmarkId>& i) {
+                           return to_string(i.param);
+                         });
+
+TEST(WorkloadStatsGlobal, FootprintOrderingMatchesTheSuiteNarrative) {
+  // mcf's arena dwarfs cactusADM's grid at every scale (the paper picked
+  // the suite to span small-to-huge working sets).
+  const Stats mcf = collect(BenchmarkId::kMcf, 0, 16, 120'000);
+  const Stats cactus = collect(BenchmarkId::kCactusADM, 0, 16, 120'000);
+  EXPECT_GT(mcf.lines.size(), cactus.lines.size());
+}
+
+}  // namespace
+}  // namespace redhip

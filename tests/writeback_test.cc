@@ -1,0 +1,149 @@
+// Tests for dirty-line tracking and writeback accounting (the
+// `model_writebacks` extension; off in the paper's methodology).
+#include <gtest/gtest.h>
+
+#include "harness/run.h"
+#include "sim/simulator.h"
+#include "trace/mem_ref.h"
+
+namespace redhip {
+namespace {
+
+CacheGeometry tiny_geom() {
+  CacheGeometry g;
+  g.size_bytes = 512;  // 2 sets x 4 ways
+  g.ways = 4;
+  return g;
+}
+
+TEST(DirtyBits, WriteHitDirtiesReadHitDoesNot) {
+  TagArray arr(tiny_geom());
+  arr.fill(0);
+  arr.lookup(0, /*is_write=*/false);
+  EXPECT_FALSE(arr.is_dirty(0));
+  arr.lookup(0, /*is_write=*/true);
+  EXPECT_TRUE(arr.is_dirty(0));
+}
+
+TEST(DirtyBits, FillCanInstallDirty) {
+  TagArray arr(tiny_geom());
+  arr.fill(2, false, /*dirty=*/true);
+  EXPECT_TRUE(arr.is_dirty(2));
+  arr.fill(4);
+  EXPECT_FALSE(arr.is_dirty(4));
+}
+
+TEST(DirtyBits, EvictionReportsDirtyVictim) {
+  TagArray arr(tiny_geom());
+  arr.fill(0, false, true);  // dirty, will become LRU
+  arr.fill(2);
+  arr.fill(4);
+  arr.fill(6);
+  const auto r = arr.fill(8);
+  ASSERT_TRUE(r.evicted);
+  EXPECT_EQ(r.victim, 0u);
+  EXPECT_TRUE(r.victim_was_dirty);
+}
+
+TEST(DirtyBits, InvalidateReportsAndClearsDirty) {
+  TagArray arr(tiny_geom());
+  arr.fill(0, false, true);
+  bool was_dirty = false;
+  EXPECT_TRUE(arr.invalidate(0, &was_dirty));
+  EXPECT_TRUE(was_dirty);
+  // Refill clean: no stale dirty bit.
+  arr.fill(0);
+  EXPECT_FALSE(arr.is_dirty(0));
+}
+
+TEST(DirtyBits, MarkDirtyDoesNotPromote) {
+  TagArray arr(tiny_geom());
+  for (LineAddr l : {0u, 2u, 4u, 6u}) arr.fill(l);
+  EXPECT_TRUE(arr.mark_dirty(0));  // 0 stays LRU
+  const auto r = arr.fill(8);
+  ASSERT_TRUE(r.evicted);
+  EXPECT_EQ(r.victim, 0u) << "mark_dirty must not touch replacement order";
+  EXPECT_FALSE(arr.mark_dirty(100));
+}
+
+// ----------------------------------------------------------------- end2end
+
+RunSpec wb_spec(Scheme scheme, bool writebacks) {
+  RunSpec spec;
+  spec.bench = BenchmarkId::kLbm;  // write-heavy streaming
+  spec.scheme = scheme;
+  spec.scale = 32;
+  // Long enough for the dirty wave to reach the LLC and spill to memory
+  // (the scaled L3/L4 hold ~2K/32K lines; the stream must outrun both).
+  spec.refs_per_core = 150'000;
+  if (writebacks) {
+    spec.tweak = [](HierarchyConfig& c) { c.model_writebacks = true; };
+  }
+  return spec;
+}
+
+TEST(Writeback, DisabledByDefaultMatchingThePaper) {
+  const SimResult r = run_spec(wb_spec(Scheme::kBase, false));
+  EXPECT_EQ(r.memory_writebacks, 0u);
+  for (const auto& lvl : r.levels) EXPECT_EQ(lvl.writebacks, 0u);
+}
+
+TEST(Writeback, WriteHeavyWorkloadProducesWritebackTraffic) {
+  const SimResult r = run_spec(wb_spec(Scheme::kBase, true));
+  // lbm writes ~40% of its stream; its evicted lines are dirty and must
+  // eventually drain to memory.
+  EXPECT_GT(r.memory_writebacks, r.total_refs / 100);
+  std::uint64_t level_wb = 0;
+  for (const auto& lvl : r.levels) level_wb += lvl.writebacks;
+  EXPECT_GT(level_wb, 0u);
+}
+
+TEST(Writeback, EnergyIncreasesButBehaviourIsUnchanged) {
+  const SimResult off = run_spec(wb_spec(Scheme::kBase, false));
+  const SimResult on = run_spec(wb_spec(Scheme::kBase, true));
+  // Same hits/misses (writebacks are an accounting overlay)...
+  EXPECT_EQ(on.levels[0].hits, off.levels[0].hits);
+  EXPECT_EQ(on.demand_memory_accesses, off.demand_memory_accesses);
+  EXPECT_EQ(on.exec_cycles, off.exec_cycles)
+      << "writebacks drain off the critical path";
+  // ...but strictly more dynamic energy.
+  EXPECT_GT(on.energy.dynamic_total_j(), off.energy.dynamic_total_j());
+}
+
+TEST(Writeback, RedhipSavingsSurviveWritebackModeling) {
+  const SimResult base = run_spec(wb_spec(Scheme::kBase, true));
+  const SimResult red = run_spec(wb_spec(Scheme::kRedhip, true));
+  EXPECT_LT(compare(base, red).dyn_energy_ratio, 0.9);
+}
+
+TEST(Writeback, ExclusiveCascadeCarriesDirtyData) {
+  // In an exclusive hierarchy a dirty line demoted from L1 must stay dirty
+  // all the way down, and a dirty LLC drop must hit memory.
+  RunSpec spec;
+  spec.bench = BenchmarkId::kMcf;  // enough churn to drop LLC victims
+  spec.scheme = Scheme::kBase;
+  spec.inclusion = InclusionPolicy::kExclusive;
+  spec.scale = 32;
+  spec.refs_per_core = 150'000;
+  spec.tweak = [](HierarchyConfig& c) { c.model_writebacks = true; };
+  const SimResult r = run_spec(spec);
+  EXPECT_GT(r.memory_writebacks, 0u);
+}
+
+TEST(Writeback, HybridLlcAbsorbsPrivateDirtyDrops) {
+  RunSpec spec;
+  spec.bench = BenchmarkId::kLbm;
+  spec.scheme = Scheme::kBase;
+  spec.inclusion = InclusionPolicy::kHybrid;
+  spec.scale = 32;
+  spec.refs_per_core = 150'000;
+  spec.tweak = [](HierarchyConfig& c) { c.model_writebacks = true; };
+  const SimResult r = run_spec(spec);
+  // Private-chain victims write into the (inclusive) LLC...
+  EXPECT_GT(r.levels[3].writebacks, 0u);
+  // ...and dirty LLC evictions still reach memory.
+  EXPECT_GT(r.memory_writebacks, 0u);
+}
+
+}  // namespace
+}  // namespace redhip
