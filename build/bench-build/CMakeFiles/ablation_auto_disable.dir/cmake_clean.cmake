@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_auto_disable"
+  "../bench/ablation_auto_disable.pdb"
+  "CMakeFiles/ablation_auto_disable.dir/ablation_auto_disable.cpp.o"
+  "CMakeFiles/ablation_auto_disable.dir/ablation_auto_disable.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_auto_disable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

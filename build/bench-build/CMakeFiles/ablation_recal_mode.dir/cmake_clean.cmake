@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_recal_mode"
+  "../bench/ablation_recal_mode.pdb"
+  "CMakeFiles/ablation_recal_mode.dir/ablation_recal_mode.cpp.o"
+  "CMakeFiles/ablation_recal_mode.dir/ablation_recal_mode.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_recal_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_writeback"
+  "../bench/ablation_writeback.pdb"
+  "CMakeFiles/ablation_writeback.dir/ablation_writeback.cpp.o"
+  "CMakeFiles/ablation_writeback.dir/ablation_writeback.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_writeback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extension_hierarchy_depth"
+  "../bench/extension_hierarchy_depth.pdb"
+  "CMakeFiles/extension_hierarchy_depth.dir/extension_hierarchy_depth.cpp.o"
+  "CMakeFiles/extension_hierarchy_depth.dir/extension_hierarchy_depth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_hierarchy_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extension_partial_tags"
+  "../bench/extension_partial_tags.pdb"
+  "CMakeFiles/extension_partial_tags.dir/extension_partial_tags.cpp.o"
+  "CMakeFiles/extension_partial_tags.dir/extension_partial_tags.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_partial_tags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

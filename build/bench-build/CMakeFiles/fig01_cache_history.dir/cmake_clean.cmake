@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_cache_history"
+  "../bench/fig01_cache_history.pdb"
+  "CMakeFiles/fig01_cache_history.dir/fig01_cache_history.cpp.o"
+  "CMakeFiles/fig01_cache_history.dir/fig01_cache_history.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_cache_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_performance"
+  "../bench/fig06_performance.pdb"
+  "CMakeFiles/fig06_performance.dir/fig06_performance.cpp.o"
+  "CMakeFiles/fig06_performance.dir/fig06_performance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

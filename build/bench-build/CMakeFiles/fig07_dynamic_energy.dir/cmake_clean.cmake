@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_dynamic_energy"
+  "../bench/fig07_dynamic_energy.pdb"
+  "CMakeFiles/fig07_dynamic_energy.dir/fig07_dynamic_energy.cpp.o"
+  "CMakeFiles/fig07_dynamic_energy.dir/fig07_dynamic_energy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_dynamic_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

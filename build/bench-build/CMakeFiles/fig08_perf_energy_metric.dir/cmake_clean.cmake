@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_perf_energy_metric"
+  "../bench/fig08_perf_energy_metric.pdb"
+  "CMakeFiles/fig08_perf_energy_metric.dir/fig08_perf_energy_metric.cpp.o"
+  "CMakeFiles/fig08_perf_energy_metric.dir/fig08_perf_energy_metric.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_perf_energy_metric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_perf_energy_metric.
+# This may be replaced when dependencies are built.

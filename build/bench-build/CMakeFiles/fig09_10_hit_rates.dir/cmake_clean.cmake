@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_10_hit_rates"
+  "../bench/fig09_10_hit_rates.pdb"
+  "CMakeFiles/fig09_10_hit_rates.dir/fig09_10_hit_rates.cpp.o"
+  "CMakeFiles/fig09_10_hit_rates.dir/fig09_10_hit_rates.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_10_hit_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_table_size"
+  "../bench/fig11_table_size.pdb"
+  "CMakeFiles/fig11_table_size.dir/fig11_table_size.cpp.o"
+  "CMakeFiles/fig11_table_size.dir/fig11_table_size.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_table_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_recal_frequency"
+  "../bench/fig12_recal_frequency.pdb"
+  "CMakeFiles/fig12_recal_frequency.dir/fig12_recal_frequency.cpp.o"
+  "CMakeFiles/fig12_recal_frequency.dir/fig12_recal_frequency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_recal_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_inclusion_policy"
+  "../bench/fig13_inclusion_policy.pdb"
+  "CMakeFiles/fig13_inclusion_policy.dir/fig13_inclusion_policy.cpp.o"
+  "CMakeFiles/fig13_inclusion_policy.dir/fig13_inclusion_policy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_inclusion_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_15_prefetch"
+  "../bench/fig14_15_prefetch.pdb"
+  "CMakeFiles/fig14_15_prefetch.dir/fig14_15_prefetch.cpp.o"
+  "CMakeFiles/fig14_15_prefetch.dir/fig14_15_prefetch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_15_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/motivation_energy_split"
+  "../bench/motivation_energy_split.pdb"
+  "CMakeFiles/motivation_energy_split.dir/motivation_energy_split.cpp.o"
+  "CMakeFiles/motivation_energy_split.dir/motivation_energy_split.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motivation_energy_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefetch_combo.dir/prefetch_combo.cpp.o"
+  "CMakeFiles/prefetch_combo.dir/prefetch_combo.cpp.o.d"
+  "prefetch_combo"
+  "prefetch_combo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefetch_combo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

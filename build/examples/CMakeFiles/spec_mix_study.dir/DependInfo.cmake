@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/spec_mix_study.cpp" "examples/CMakeFiles/spec_mix_study.dir/spec_mix_study.cpp.o" "gcc" "examples/CMakeFiles/spec_mix_study.dir/spec_mix_study.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/redhip_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/redhip_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/redhip_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefetch/CMakeFiles/redhip_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/redhip_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/redhip_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/redhip_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/redhip_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_mix_study.dir/spec_mix_study.cpp.o"
+  "CMakeFiles/spec_mix_study.dir/spec_mix_study.cpp.o.d"
+  "spec_mix_study"
+  "spec_mix_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_mix_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redhip_cache.dir/replacement.cc.o"
+  "CMakeFiles/redhip_cache.dir/replacement.cc.o.d"
+  "CMakeFiles/redhip_cache.dir/tag_array.cc.o"
+  "CMakeFiles/redhip_cache.dir/tag_array.cc.o.d"
+  "libredhip_cache.a"
+  "libredhip_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redhip_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

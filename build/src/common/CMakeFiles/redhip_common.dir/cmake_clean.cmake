@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redhip_common.dir/cli.cc.o"
+  "CMakeFiles/redhip_common.dir/cli.cc.o.d"
+  "CMakeFiles/redhip_common.dir/rng.cc.o"
+  "CMakeFiles/redhip_common.dir/rng.cc.o.d"
+  "libredhip_common.a"
+  "libredhip_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redhip_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/energy/cacti_lite.cc" "src/energy/CMakeFiles/redhip_energy.dir/cacti_lite.cc.o" "gcc" "src/energy/CMakeFiles/redhip_energy.dir/cacti_lite.cc.o.d"
+  "/root/repo/src/energy/ledger.cc" "src/energy/CMakeFiles/redhip_energy.dir/ledger.cc.o" "gcc" "src/energy/CMakeFiles/redhip_energy.dir/ledger.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/redhip_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/redhip_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

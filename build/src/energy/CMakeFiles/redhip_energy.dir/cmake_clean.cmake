@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redhip_energy.dir/cacti_lite.cc.o"
+  "CMakeFiles/redhip_energy.dir/cacti_lite.cc.o.d"
+  "CMakeFiles/redhip_energy.dir/ledger.cc.o"
+  "CMakeFiles/redhip_energy.dir/ledger.cc.o.d"
+  "libredhip_energy.a"
+  "libredhip_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redhip_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/config_file.cc" "src/harness/CMakeFiles/redhip_harness.dir/config_file.cc.o" "gcc" "src/harness/CMakeFiles/redhip_harness.dir/config_file.cc.o.d"
+  "/root/repo/src/harness/experiment.cc" "src/harness/CMakeFiles/redhip_harness.dir/experiment.cc.o" "gcc" "src/harness/CMakeFiles/redhip_harness.dir/experiment.cc.o.d"
+  "/root/repo/src/harness/json_report.cc" "src/harness/CMakeFiles/redhip_harness.dir/json_report.cc.o" "gcc" "src/harness/CMakeFiles/redhip_harness.dir/json_report.cc.o.d"
+  "/root/repo/src/harness/report.cc" "src/harness/CMakeFiles/redhip_harness.dir/report.cc.o" "gcc" "src/harness/CMakeFiles/redhip_harness.dir/report.cc.o.d"
+  "/root/repo/src/harness/run.cc" "src/harness/CMakeFiles/redhip_harness.dir/run.cc.o" "gcc" "src/harness/CMakeFiles/redhip_harness.dir/run.cc.o.d"
+  "/root/repo/src/harness/thread_pool.cc" "src/harness/CMakeFiles/redhip_harness.dir/thread_pool.cc.o" "gcc" "src/harness/CMakeFiles/redhip_harness.dir/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/redhip_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/redhip_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefetch/CMakeFiles/redhip_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/redhip_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/redhip_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/redhip_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/redhip_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

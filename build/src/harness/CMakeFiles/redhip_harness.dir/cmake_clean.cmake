@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redhip_harness.dir/config_file.cc.o"
+  "CMakeFiles/redhip_harness.dir/config_file.cc.o.d"
+  "CMakeFiles/redhip_harness.dir/experiment.cc.o"
+  "CMakeFiles/redhip_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/redhip_harness.dir/json_report.cc.o"
+  "CMakeFiles/redhip_harness.dir/json_report.cc.o.d"
+  "CMakeFiles/redhip_harness.dir/report.cc.o"
+  "CMakeFiles/redhip_harness.dir/report.cc.o.d"
+  "CMakeFiles/redhip_harness.dir/run.cc.o"
+  "CMakeFiles/redhip_harness.dir/run.cc.o.d"
+  "CMakeFiles/redhip_harness.dir/thread_pool.cc.o"
+  "CMakeFiles/redhip_harness.dir/thread_pool.cc.o.d"
+  "libredhip_harness.a"
+  "libredhip_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redhip_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

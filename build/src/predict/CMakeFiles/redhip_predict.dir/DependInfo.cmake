@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predict/counting_bloom.cc" "src/predict/CMakeFiles/redhip_predict.dir/counting_bloom.cc.o" "gcc" "src/predict/CMakeFiles/redhip_predict.dir/counting_bloom.cc.o.d"
+  "/root/repo/src/predict/oracle.cc" "src/predict/CMakeFiles/redhip_predict.dir/oracle.cc.o" "gcc" "src/predict/CMakeFiles/redhip_predict.dir/oracle.cc.o.d"
+  "/root/repo/src/predict/partial_tag.cc" "src/predict/CMakeFiles/redhip_predict.dir/partial_tag.cc.o" "gcc" "src/predict/CMakeFiles/redhip_predict.dir/partial_tag.cc.o.d"
+  "/root/repo/src/predict/redhip_table.cc" "src/predict/CMakeFiles/redhip_predict.dir/redhip_table.cc.o" "gcc" "src/predict/CMakeFiles/redhip_predict.dir/redhip_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/redhip_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/redhip_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/redhip_energy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redhip_predict.dir/counting_bloom.cc.o"
+  "CMakeFiles/redhip_predict.dir/counting_bloom.cc.o.d"
+  "CMakeFiles/redhip_predict.dir/oracle.cc.o"
+  "CMakeFiles/redhip_predict.dir/oracle.cc.o.d"
+  "CMakeFiles/redhip_predict.dir/partial_tag.cc.o"
+  "CMakeFiles/redhip_predict.dir/partial_tag.cc.o.d"
+  "CMakeFiles/redhip_predict.dir/redhip_table.cc.o"
+  "CMakeFiles/redhip_predict.dir/redhip_table.cc.o.d"
+  "libredhip_predict.a"
+  "libredhip_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redhip_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prefetch/stride_prefetcher.cc" "src/prefetch/CMakeFiles/redhip_prefetch.dir/stride_prefetcher.cc.o" "gcc" "src/prefetch/CMakeFiles/redhip_prefetch.dir/stride_prefetcher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/redhip_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/redhip_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/redhip_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

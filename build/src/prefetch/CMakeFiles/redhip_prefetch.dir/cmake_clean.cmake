@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redhip_prefetch.dir/stride_prefetcher.cc.o"
+  "CMakeFiles/redhip_prefetch.dir/stride_prefetcher.cc.o.d"
+  "libredhip_prefetch.a"
+  "libredhip_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redhip_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

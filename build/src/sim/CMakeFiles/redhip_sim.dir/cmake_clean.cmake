@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redhip_sim.dir/config.cc.o"
+  "CMakeFiles/redhip_sim.dir/config.cc.o.d"
+  "CMakeFiles/redhip_sim.dir/simulator.cc.o"
+  "CMakeFiles/redhip_sim.dir/simulator.cc.o.d"
+  "libredhip_sim.a"
+  "libredhip_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redhip_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redhip_trace.dir/kernels.cc.o"
+  "CMakeFiles/redhip_trace.dir/kernels.cc.o.d"
+  "CMakeFiles/redhip_trace.dir/trace_io.cc.o"
+  "CMakeFiles/redhip_trace.dir/trace_io.cc.o.d"
+  "CMakeFiles/redhip_trace.dir/workloads.cc.o"
+  "CMakeFiles/redhip_trace.dir/workloads.cc.o.d"
+  "libredhip_trace.a"
+  "libredhip_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redhip_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_file_test.dir/config_file_test.cc.o"
+  "CMakeFiles/config_file_test.dir/config_file_test.cc.o.d"
+  "config_file_test"
+  "config_file_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
