@@ -80,6 +80,12 @@ int main(int argc, char** argv) {
   auto run_with = [&](Scheme scheme) {
     HierarchyConfig c = config;
     c.scheme = scheme;
+    if (scheme == Scheme::kBase) {
+      // The baseline leg of the comparison must be clean: any [fault] /
+      // [audit] sections apply only to the scheme under evaluation.
+      c.fault = FaultConfig{};
+      c.audit = {};
+    }
     std::vector<std::unique_ptr<TraceSource>> traces;
     std::vector<std::uint32_t> cpis;
     for (CoreId core = 0; core < c.cores; ++core) {

@@ -1,0 +1,107 @@
+// Status / Result<T> — lightweight, allocation-frugal error propagation.
+//
+// REDHIP_CHECK throws, which is right for programming errors and config
+// validation.  I/O and other environment failures are *expected* at
+// production scale (truncated trace files, vanished paths, injected faults)
+// and callers need to branch on them without a try/catch at every call
+// site.  Status carries a code + a precise human diagnostic; Result<T> is
+// Status-or-value.  Both convert to an exception at the boundary where the
+// caller genuinely cannot continue (`value()` / `throw_if_error()`), so
+// existing throwing call sites keep working unchanged.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace redhip {
+
+enum class StatusCode : std::uint8_t {
+  kOk,
+  kInvalidArgument,     // caller passed something structurally wrong
+  kNotFound,            // a named resource does not exist
+  kDataLoss,            // bytes are missing or corrupt (truncation, bad magic)
+  kFailedPrecondition,  // the operation is illegal in the current state
+  kInternal,            // everything else
+};
+std::string to_string(StatusCode code);
+
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "DATA_LOSS: trace t.bin: header claims 100 records..." (or "OK").
+  std::string to_string() const {
+    return ok() ? "OK" : redhip::to_string(code_) + ": " + message_;
+  }
+
+  // Exception boundary: no-op when OK, throws std::runtime_error otherwise.
+  void throw_if_error() const {
+    if (!ok()) throw std::runtime_error(to_string());
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}                   // NOLINT
+  Result(Status status) : v_(std::move(status)) {             // NOLINT
+    if (std::get<Status>(v_).ok()) {
+      v_ = Status(StatusCode::kInternal, "Result built from an OK Status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const Status& status() const {
+    static const Status kOkStatus;
+    return ok() ? kOkStatus : std::get<Status>(v_);
+  }
+
+  // Throws std::runtime_error when this Result holds an error.
+  T& value() & {
+    status().throw_if_error();
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    status().throw_if_error();
+    return std::get<T>(std::move(v_));
+  }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+inline std::string to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kDataLoss:
+      return "DATA_LOSS";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace redhip

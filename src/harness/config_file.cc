@@ -28,9 +28,11 @@ std::string lower(std::string s) {
   return s;
 }
 
-// "32K" / "4M" / "1G" / plain integers.
-std::uint64_t parse_size(const std::string& v, int line_no) {
-  if (v.empty()) fail(line_no, "empty numeric value");
+// "32K" / "4M" / "1G" / plain integers.  `key` makes the diagnostic name
+// the offending key, not just the line.
+std::uint64_t parse_size(const std::string& v, int line_no,
+                         const std::string& key) {
+  if (v.empty()) fail(line_no, "key '" + key + "': empty numeric value");
   std::uint64_t mult = 1;
   std::string digits = v;
   const char suffix = static_cast<char>(std::toupper(v.back()));
@@ -38,18 +40,39 @@ std::uint64_t parse_size(const std::string& v, int line_no) {
     mult = suffix == 'K' ? 1_KiB : suffix == 'M' ? 1_MiB : 1_GiB;
     digits = v.substr(0, v.size() - 1);
   }
+  std::uint64_t parsed = 0;
+  std::size_t pos = 0;
   try {
-    return std::stoull(digits) * mult;
+    parsed = std::stoull(digits, &pos);
   } catch (const std::exception&) {
-    fail(line_no, "bad numeric value: " + v);
+    fail(line_no, "key '" + key + "': bad numeric value: " + v);
   }
+  if (pos != digits.size()) {
+    fail(line_no, "key '" + key + "': bad numeric value: " + v);
+  }
+  return parsed * mult;
 }
 
-bool parse_bool(const std::string& v, int line_no) {
+double parse_double(const std::string& v, int line_no,
+                    const std::string& key) {
+  double parsed = 0.0;
+  std::size_t pos = 0;
+  try {
+    parsed = std::stod(v, &pos);
+  } catch (const std::exception&) {
+    fail(line_no, "key '" + key + "': bad floating-point value: " + v);
+  }
+  if (pos != v.size()) {
+    fail(line_no, "key '" + key + "': bad floating-point value: " + v);
+  }
+  return parsed;
+}
+
+bool parse_bool(const std::string& v, int line_no, const std::string& key) {
   const std::string l = lower(v);
   if (l == "true" || l == "1" || l == "yes" || l == "on") return true;
   if (l == "false" || l == "0" || l == "no" || l == "off") return false;
-  fail(line_no, "bad boolean: " + v);
+  fail(line_no, "key '" + key + "': bad boolean: " + v);
 }
 
 Scheme parse_scheme(const std::string& v, int line_no) {
@@ -125,7 +148,8 @@ HierarchyConfig parse_config_text(const std::string& text) {
         levels.back().geom.ways = 1;
       } else if (section != "redhip" && section != "cbf" &&
                  section != "prefetcher" && section != "auto_disable" &&
-                 section != "partial_tag") {
+                 section != "partial_tag" && section != "fault" &&
+                 section != "audit") {
         fail(line_no, "unknown section: [" + section + "]");
       }
       continue;
@@ -139,56 +163,56 @@ HierarchyConfig parse_config_text(const std::string& text) {
 
     if (section.empty()) {
       if (key == "cores") {
-        c.cores = static_cast<std::uint32_t>(parse_size(value, line_no));
+        c.cores = static_cast<std::uint32_t>(parse_size(value, line_no, key));
       } else if (key == "freq_ghz") {
-        c.freq_ghz = std::stod(value);
+        c.freq_ghz = parse_double(value, line_no, key);
       } else if (key == "scheme") {
         c.scheme = parse_scheme(value, line_no);
       } else if (key == "inclusion") {
         c.inclusion = parse_inclusion(value, line_no);
       } else if (key == "memory_latency") {
-        c.memory_latency = parse_size(value, line_no);
+        c.memory_latency = parse_size(value, line_no, key);
       } else if (key == "memory_energy_nj") {
-        c.memory_energy_nj = std::stod(value);
+        c.memory_energy_nj = parse_double(value, line_no, key);
       } else if (key == "prefetch") {
-        c.prefetch = parse_bool(value, line_no);
+        c.prefetch = parse_bool(value, line_no, key);
       } else if (key == "charge_fill_energy") {
-        c.charge_fill_energy = parse_bool(value, line_no);
+        c.charge_fill_energy = parse_bool(value, line_no, key);
       } else if (key == "model_writebacks") {
-        c.model_writebacks = parse_bool(value, line_no);
+        c.model_writebacks = parse_bool(value, line_no, key);
       } else if (key == "seed") {
-        c.seed = parse_size(value, line_no);
+        c.seed = parse_size(value, line_no, key);
       } else {
         fail(line_no, "unknown key: " + key);
       }
     } else if (section == "level") {
       PendingLevel& pl = levels.back();
       if (key == "size") {
-        pl.geom.size_bytes = parse_size(value, line_no);
+        pl.geom.size_bytes = parse_size(value, line_no, key);
       } else if (key == "ways") {
-        pl.geom.ways = static_cast<std::uint32_t>(parse_size(value, line_no));
+        pl.geom.ways = static_cast<std::uint32_t>(parse_size(value, line_no, key));
       } else if (key == "banks") {
-        pl.geom.banks = static_cast<std::uint32_t>(parse_size(value, line_no));
+        pl.geom.banks = static_cast<std::uint32_t>(parse_size(value, line_no, key));
       } else if (key == "line_bytes") {
         pl.geom.line_bytes =
-            static_cast<std::uint32_t>(parse_size(value, line_no));
+            static_cast<std::uint32_t>(parse_size(value, line_no, key));
       } else if (key == "replacement") {
         pl.geom.replacement = parse_replacement(value, line_no);
       } else if (key == "phased") {
-        pl.phased = parse_bool(value, line_no);
+        pl.phased = parse_bool(value, line_no, key);
       } else if (key == "split_tags") {
-        pl.split_tags = parse_bool(value, line_no);
+        pl.split_tags = parse_bool(value, line_no, key);
       } else {
         fail(line_no, "unknown [level] key: " + key);
       }
     } else if (section == "redhip") {
       if (key == "table_bits") {
-        c.redhip.table_bits = parse_size(value, line_no);
+        c.redhip.table_bits = parse_size(value, line_no, key);
       } else if (key == "recal_interval") {
-        c.redhip.recal_interval_l1_misses = parse_size(value, line_no);
+        c.redhip.recal_interval_l1_misses = parse_size(value, line_no, key);
       } else if (key == "banks") {
         c.redhip.banks =
-            static_cast<std::uint32_t>(parse_size(value, line_no));
+            static_cast<std::uint32_t>(parse_size(value, line_no, key));
       } else if (key == "recal_mode") {
         const std::string l = lower(value);
         if (l == "batch") {
@@ -204,44 +228,80 @@ HierarchyConfig parse_config_text(const std::string& text) {
     } else if (section == "cbf") {
       if (key == "index_bits") {
         c.cbf.index_bits =
-            static_cast<std::uint32_t>(parse_size(value, line_no));
+            static_cast<std::uint32_t>(parse_size(value, line_no, key));
       } else if (key == "counter_bits") {
         c.cbf.counter_bits =
-            static_cast<std::uint32_t>(parse_size(value, line_no));
+            static_cast<std::uint32_t>(parse_size(value, line_no, key));
       } else {
         fail(line_no, "unknown [cbf] key: " + key);
       }
     } else if (section == "partial_tag") {
       if (key == "partial_bits") {
         c.partial_tag.partial_bits =
-            static_cast<std::uint32_t>(parse_size(value, line_no));
+            static_cast<std::uint32_t>(parse_size(value, line_no, key));
       } else {
         fail(line_no, "unknown [partial_tag] key: " + key);
       }
     } else if (section == "prefetcher") {
       if (key == "index_bits") {
         c.prefetcher.index_bits =
-            static_cast<std::uint32_t>(parse_size(value, line_no));
+            static_cast<std::uint32_t>(parse_size(value, line_no, key));
       } else if (key == "degree") {
         c.prefetcher.degree =
-            static_cast<std::uint32_t>(parse_size(value, line_no));
+            static_cast<std::uint32_t>(parse_size(value, line_no, key));
       } else if (key == "distance") {
         c.prefetcher.distance =
-            static_cast<std::uint32_t>(parse_size(value, line_no));
+            static_cast<std::uint32_t>(parse_size(value, line_no, key));
       } else {
         fail(line_no, "unknown [prefetcher] key: " + key);
       }
+    } else if (section == "fault") {
+      if (key == "enabled") {
+        c.fault.enabled = parse_bool(value, line_no, key);
+      } else if (key == "rate_per_mref") {
+        c.fault.rate_per_mref =
+            static_cast<std::uint32_t>(parse_size(value, line_no, key));
+      } else if (key == "sites") {
+        try {
+          c.fault.site_mask = parse_fault_sites(value);
+        } catch (const std::exception& e) {
+          fail(line_no, "key 'sites': " + std::string(e.what()));
+        }
+      } else if (key == "seed") {
+        c.fault.seed = parse_size(value, line_no, key);
+      } else if (key == "transient") {
+        c.fault.transient = parse_bool(value, line_no, key);
+      } else {
+        fail(line_no, "unknown [fault] key: " + key);
+      }
+    } else if (section == "audit") {
+      if (key == "enabled") {
+        c.audit.enabled = parse_bool(value, line_no, key);
+      } else if (key == "policy") {
+        const std::string l = lower(value);
+        if (l == "count-only") {
+          c.audit.policy = RecoveryPolicy::kCountOnly;
+        } else if (l == "recalibrate") {
+          c.audit.policy = RecoveryPolicy::kRecalibrate;
+        } else if (l == "abort-retry") {
+          c.audit.policy = RecoveryPolicy::kAbortRetry;
+        } else {
+          fail(line_no, "key 'policy': unknown recovery policy: " + value);
+        }
+      } else {
+        fail(line_no, "unknown [audit] key: " + key);
+      }
     } else if (section == "auto_disable") {
       if (key == "enabled") {
-        c.auto_disable.enabled = parse_bool(value, line_no);
+        c.auto_disable.enabled = parse_bool(value, line_no, key);
       } else if (key == "epoch_refs") {
-        c.auto_disable.epoch_refs = parse_size(value, line_no);
+        c.auto_disable.epoch_refs = parse_size(value, line_no, key);
       } else if (key == "min_l1_miss_ppm") {
         c.auto_disable.min_l1_miss_ppm =
-            static_cast<std::uint32_t>(parse_size(value, line_no));
+            static_cast<std::uint32_t>(parse_size(value, line_no, key));
       } else if (key == "min_bypass_ppm") {
         c.auto_disable.min_bypass_ppm =
-            static_cast<std::uint32_t>(parse_size(value, line_no));
+            static_cast<std::uint32_t>(parse_size(value, line_no, key));
       } else {
         fail(line_no, "unknown [auto_disable] key: " + key);
       }
@@ -297,6 +357,20 @@ std::string config_to_text(const HierarchyConfig& config) {
   os << "recal_interval = " << config.redhip.recal_interval_l1_misses << "\n";
   os << "recal_mode = " << to_string(config.redhip.recal_mode) << "\n";
   os << "banks = " << config.redhip.banks << "\n";
+  if (config.fault.enabled) {
+    os << "\n[fault]\n";
+    os << "enabled = true\n";
+    os << "rate_per_mref = " << config.fault.rate_per_mref << "\n";
+    os << "sites = " << fault_sites_to_string(config.fault.site_mask) << "\n";
+    os << "seed = " << config.fault.seed << "\n";
+    os << "transient = " << (config.fault.transient ? "true" : "false")
+       << "\n";
+  }
+  if (config.audit.enabled) {
+    os << "\n[audit]\n";
+    os << "enabled = true\n";
+    os << "policy = " << to_string(config.audit.policy) << "\n";
+  }
   return os.str();
 }
 

@@ -41,8 +41,25 @@ std::vector<std::vector<SimResult>> run_matrix(
         spec.scale = opts.scale;
         spec.refs_per_core = opts.refs_per_core;
         spec.seed = opts.seed;
-        spec.tweak = columns[c].tweak;
-        results[b][c] = run_spec(spec);
+        // A run aborted by the invariant auditor under a *transient*
+        // injected fault (RecoveryPolicy::kAbortRetry) is retried a bounded
+        // number of times with a reseeded fault stream — the simulated
+        // workload stays bit-identical, only the fault sequence moves.
+        // Deterministic (non-transient) faults and every other exception
+        // propagate to the thread pool, which rethrows after the drain.
+        for (std::uint32_t attempt = 0;; ++attempt) {
+          const auto base_tweak = columns[c].tweak;
+          spec.tweak = [&base_tweak, attempt](HierarchyConfig& hc) {
+            if (base_tweak) base_tweak(hc);
+            if (attempt > 0) hc.fault.seed += attempt * 0x9e3779b9ull;
+          };
+          try {
+            results[b][c] = run_spec(spec);
+            break;
+          } catch (const TransientFaultError&) {
+            if (attempt + 1 >= kMaxTransientAttempts) throw;
+          }
+        }
       });
     }
   }

@@ -26,6 +26,11 @@ struct ExperimentOptions {
   static ExperimentOptions parse(const CliOptions& cli);
 };
 
+// Bounded retry budget for matrix runs aborted by a transient injected
+// fault (TransientFaultError under RecoveryPolicy::kAbortRetry); each
+// attempt reseeds the fault stream, nothing else.
+inline constexpr std::uint32_t kMaxTransientAttempts = 3;
+
 // One column of a figure: a scheme variant applied to every workload.
 struct SchemeColumn {
   std::string label;

@@ -124,6 +124,29 @@ std::string to_json(const SimResult& r) {
   w.value(r.predictor.recal_sets_read);
   w.end_object();
 
+  // Only emitted when something happened — keeps fault-free reports stable.
+  if (r.fault.injected_total() != 0 || r.fault.audit_checks != 0) {
+    w.key("fault");
+    w.begin_object();
+    w.key("pt_bits_cleared");
+    w.value(r.fault.pt_bits_cleared);
+    w.key("pt_bits_set");
+    w.value(r.fault.pt_bits_set);
+    w.key("recal_chunks_dropped");
+    w.value(r.fault.recal_chunks_dropped);
+    w.key("trace_refs_perturbed");
+    w.value(r.fault.trace_refs_perturbed);
+    w.key("audit_checks");
+    w.value(r.fault.audit_checks);
+    w.key("invariant_violations");
+    w.value(r.fault.invariant_violations);
+    w.key("recovery_recalibrations");
+    w.value(r.fault.recovery_recalibrations);
+    w.key("recovery_stall_cycles");
+    w.value(r.fault.recovery_stall_cycles);
+    w.end_object();
+  }
+
   w.key("prefetch");
   w.begin_object();
   w.key("issued");

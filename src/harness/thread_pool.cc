@@ -1,5 +1,7 @@
 #include "harness/thread_pool.h"
 
+#include "common/check.h"
+
 namespace redhip {
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -14,8 +16,15 @@ ThreadPool::ThreadPool(std::size_t threads) {
 }
 
 ThreadPool::~ThreadPool() {
+  // A captured error that was never collected via wait_idle() dies here;
+  // destructors cannot rethrow.
+  shutdown();
+}
+
+void ThreadPool::shutdown() {
   {
     std::unique_lock<std::mutex> lock(mu_);
+    if (stop_) return;
     stop_ = true;
   }
   cv_.notify_all();
@@ -25,6 +34,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
+    REDHIP_CHECK_MSG(!stop_, "ThreadPool::submit after shutdown");
     queue_.push(std::move(task));
     ++in_flight_;
   }
@@ -34,6 +44,11 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mu_);
   idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
 }
 
 void ThreadPool::worker_loop() {
@@ -46,9 +61,17 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
+    std::exception_ptr err;
+    try {
+      task();
+    } catch (...) {
+      // Letting this escape the thread would std::terminate the process;
+      // capture the first failure and keep draining the queue.
+      err = std::current_exception();
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
+      if (err && !first_error_) first_error_ = err;
       if (--in_flight_ == 0) idle_cv_.notify_all();
     }
   }

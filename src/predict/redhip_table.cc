@@ -111,6 +111,11 @@ Cycles RedhipTable::recalibrate_sets(const TagArray& covered,
   const std::uint32_t k = covered.geometry().set_bits();
   const std::uint64_t aliases_per_set = config_.table_bits >> k;
   REDHIP_DCHECK(first_set + count <= sets);
+  if (recal_filter_ && recal_filter_(first_set, count)) {
+    // The update was lost in flight: the stale PT lines stand (conservative
+    // — only energy is wasted) but the recalibration hardware still ran.
+    return (count + config_.banks - 1) / config_.banks;
+  }
   for (std::uint64_t s = first_set; s < first_set + count; ++s) {
     // Clear exactly the PT entries that can hold set-s lines (index = low p
     // bits of the line address, whose low k bits are the set index), then
@@ -124,6 +129,20 @@ Cycles RedhipTable::recalibrate_sets(const TagArray& covered,
   events_.recal_sets_read += count;
   events_.recal_words_written += count;  // one PT line per set (Fig. 4)
   return (count + config_.banks - 1) / config_.banks;
+}
+
+bool RedhipTable::corrupt_clear_bit(std::uint64_t index) {
+  index &= index_mask_;
+  if (!test_bit(index)) return false;
+  clear_bit(index);
+  return true;
+}
+
+bool RedhipTable::corrupt_set_bit(std::uint64_t index) {
+  index &= index_mask_;
+  if (test_bit(index)) return false;
+  set_bit(index);
+  return true;
 }
 
 bool RedhipTable::test_bit(std::uint64_t index) const {

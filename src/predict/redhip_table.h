@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "predict/predictor.h"
@@ -88,6 +89,25 @@ class RedhipTable final : public LlcPredictor {
   // per miss to simulate.
   void attach_covered(const TagArray* covered) { covered_ = covered; }
 
+  // --- Fault hooks (src/fault) ---------------------------------------------
+  // Forcibly flip one PT bit, bypassing the conservative-superset
+  // discipline.  A 1→0 flip breaks the no-false-negative invariant until
+  // the next (re)calibration; a 0→1 flip is a lingering false positive.
+  // Return whether the bit actually changed.
+  bool corrupt_clear_bit(std::uint64_t index);
+  bool corrupt_set_bit(std::uint64_t index);
+
+  // Optional predicate consulted before each incremental recalibration
+  // chunk; returning true drops that set-range (the stall is still paid —
+  // the hardware did the work, the result was lost in flight).  Installed
+  // by the simulator's fault injector; a dropped chunk leaves stale 1s,
+  // which is conservative and therefore costs only energy, not correctness.
+  using RecalChunkFilter =
+      std::function<bool(std::uint64_t first_set, std::uint64_t count)>;
+  void set_recal_chunk_filter(RecalChunkFilter filter) {
+    recal_filter_ = std::move(filter);
+  }
+
   // --- Introspection -------------------------------------------------------
   const RedhipConfig& config() const { return config_; }
   std::uint64_t index_of(LineAddr line) const { return line & index_mask_; }
@@ -102,6 +122,7 @@ class RedhipTable final : public LlcPredictor {
   RedhipConfig config_;
   std::uint64_t index_mask_;
   const TagArray* covered_ = nullptr;  // see attach_covered()
+  RecalChunkFilter recal_filter_;      // see set_recal_chunk_filter()
   std::vector<std::uint64_t> words_;
   std::uint64_t l1_misses_ = 0;
   std::uint64_t misses_since_recal_ = 0;

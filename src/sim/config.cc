@@ -37,6 +37,18 @@ std::string to_string(InclusionPolicy p) {
   return "unknown";
 }
 
+std::string to_string(RecoveryPolicy p) {
+  switch (p) {
+    case RecoveryPolicy::kCountOnly:
+      return "count-only";
+    case RecoveryPolicy::kRecalibrate:
+      return "recalibrate";
+    case RecoveryPolicy::kAbortRetry:
+      return "abort-retry";
+  }
+  return "unknown";
+}
+
 void HierarchyConfig::validate() const {
   REDHIP_CHECK_MSG(cores >= 1, "at least one core");
   REDHIP_CHECK_MSG(levels.size() >= 2, "need at least two cache levels");
@@ -71,6 +83,24 @@ void HierarchyConfig::validate() const {
   }
   if (auto_disable.enabled) {
     REDHIP_CHECK_MSG(auto_disable.epoch_refs > 0, "epoch must be positive");
+  }
+  fault.validate();
+  if (fault.enabled) {
+    const std::uint32_t pt_sites =
+        static_cast<std::uint32_t>(FaultSite::kPtBitClear) |
+        static_cast<std::uint32_t>(FaultSite::kPtBitSet) |
+        static_cast<std::uint32_t>(FaultSite::kRecalDrop);
+    if ((fault.site_mask & pt_sites) != 0) {
+      REDHIP_CHECK_MSG(scheme == Scheme::kRedhip &&
+                           inclusion != InclusionPolicy::kExclusive,
+                       "PT fault sites target the shared-LLC ReDHiP table "
+                       "(scheme=redhip, inclusive/hybrid)");
+    }
+  }
+  if (audit.enabled) {
+    REDHIP_CHECK_MSG(inclusion != InclusionPolicy::kExclusive,
+                     "the invariant auditor covers the single-LLC-predictor "
+                     "(inclusive/hybrid) configurations");
   }
 }
 

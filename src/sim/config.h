@@ -13,6 +13,7 @@
 
 #include "cache/geometry.h"
 #include "energy/params.h"
+#include "fault/fault.h"
 #include "predict/counting_bloom.h"
 #include "predict/partial_tag.h"
 #include "predict/redhip_table.h"
@@ -30,6 +31,18 @@ enum class Scheme : std::uint8_t {
                 // work [17]/[30]); conservative, never stale, ~2x the area
 };
 std::string to_string(Scheme s);
+
+// What the online invariant auditor does when a predicted-absent bypass
+// turns out to hide an LLC-resident line (possible only under injected
+// faults; see src/fault).
+enum class RecoveryPolicy : std::uint8_t {
+  kCountOnly,    // detect, correct this access, keep the corrupt table
+  kRecalibrate,  // detect, correct, emergency-recalibrate the PT (stall +
+                 // energy charged like any scheduled recalibration)
+  kAbortRetry,   // detect and throw TransientFaultError; run_matrix retries
+                 // the run (bounded, reseeded) when the fault is transient
+};
+std::string to_string(RecoveryPolicy p);
 
 enum class InclusionPolicy : std::uint8_t {
   kInclusive,  // every level contains all lines of the levels above it
@@ -84,6 +97,16 @@ struct HierarchyConfig {
     std::uint32_t min_bypass_ppm = 50'000;   // <5% of lookups bypass: wasteful
     std::uint32_t max_backoff_epochs = 8;
   } auto_disable;
+
+  // Fault model & recovery (DESIGN.md).  `fault` injects deterministic
+  // corruption; `audit` shadow-checks every predicted-absent bypass against
+  // the LLC tag array and applies the recovery policy on a violation.  Both
+  // default off and are zero-overhead when off.
+  FaultConfig fault;
+  struct InvariantAudit {
+    bool enabled = false;
+    RecoveryPolicy policy = RecoveryPolicy::kRecalibrate;
+  } audit;
   std::uint64_t seed = 0x5eed;
 
   std::uint32_t num_levels() const {

@@ -88,6 +88,21 @@ MulticoreSimulator::MulticoreSimulator(
     }
   }
 
+  // Fault injection + recovery plumbing (all null when disabled).
+  llc_redhip_ = dynamic_cast<RedhipTable*>(llc_pred_.get());
+  if (config_.fault.enabled) {
+    injector_ = std::make_unique<FaultInjector>(config_.fault);
+    if (llc_redhip_ != nullptr &&
+        injector_->site_enabled(FaultSite::kRecalDrop)) {
+      llc_redhip_->set_recal_chunk_filter(
+          [this](std::uint64_t, std::uint64_t) {
+            const bool drop = injector_->fires(FaultSite::kRecalDrop);
+            if (drop) ++injector_->stats().recal_chunks_dropped;
+            return drop;
+          });
+    }
+  }
+
   for (CoreId c = 0; c < config_.cores; ++c) {
     cores_.push_back(CoreState{std::move(traces[c]),
                                CpiAccumulator(cpi_centi[c])});
@@ -300,6 +315,65 @@ void MulticoreSimulator::note_l1_miss() {
   for (auto& cs : cores_) cs.clock += stall;
 }
 
+bool MulticoreSimulator::audit_bypass(LineAddr line) {
+  if (!config_.audit.enabled) {
+    // Without injected faults the no-false-negative property is structural
+    // (checked in debug builds).  With injection but no auditor the bypass
+    // proceeds uncorrected and the run silently mis-prices the access —
+    // ablation_fault_tolerance quantifies exactly that damage.
+    if (injector_ == nullptr) REDHIP_DCHECK(!shared_->contains(line));
+    return true;
+  }
+  ++audit_checks_;
+  if (!shared_->contains(line)) return true;
+  ++invariant_violations_;
+  switch (config_.audit.policy) {
+    case RecoveryPolicy::kAbortRetry:
+      // Only a *transient* fault model makes a retry meaningful (the
+      // reseeded fault stream may miss); a deterministic fault would just
+      // reproduce, so it surfaces as a plain failure.
+      if (injector_ != nullptr && config_.fault.transient) {
+        throw TransientFaultError(
+            "invariant violation: predicted-absent line is LLC-resident; "
+            "aborting the run for a reseeded retry");
+      }
+      throw std::runtime_error(
+          "invariant violation: predicted-absent line is LLC-resident "
+          "(deterministic fault; not retryable)");
+    case RecoveryPolicy::kRecalibrate:
+      // Emergency recalibration: rebuild the PT exactly from the tag array,
+      // restoring the no-false-negative property.  The stall freezes every
+      // core and the tag reads + PT writes are priced by the EnergyLedger
+      // like any scheduled recalibration.
+      if (llc_redhip_ != nullptr) {
+        const Cycles stall = llc_redhip_->recalibrate(*shared_);
+        ++recovery_recals_;
+        recovery_stall_cycles_ += stall;
+        recal_stall_cycles_ += stall;
+        for (auto& cs : cores_) cs.clock += stall;
+      }
+      break;
+    case RecoveryPolicy::kCountOnly:
+      break;
+  }
+  return false;  // degrade gracefully: walk the hierarchy instead
+}
+
+void MulticoreSimulator::inject_faults() {
+  if (llc_redhip_ == nullptr) return;
+  const std::uint64_t bits = llc_redhip_->config().table_bits;
+  // An SEU strikes a uniformly random cell; only a strike that actually
+  // flips the bit is counted (a 1→0 strike on a 0 bit is invisible).
+  if (injector_->fires(FaultSite::kPtBitClear) &&
+      llc_redhip_->corrupt_clear_bit(injector_->pick(bits))) {
+    ++injector_->stats().pt_bits_cleared;
+  }
+  if (injector_->fires(FaultSite::kPtBitSet) &&
+      llc_redhip_->corrupt_set_bit(injector_->pick(bits))) {
+    ++injector_->stats().pt_bits_set;
+  }
+}
+
 void MulticoreSimulator::evaluate_auto_disable() {
   const auto& ad = config_.auto_disable;
   epoch_refs_seen_ = 0;
@@ -371,9 +445,9 @@ Cycles MulticoreSimulator::access_inclusive(CoreId core, LineAddr line,
 
   note_l1_miss();
   const Prediction p = query_llc_predictor(line, lat);
-  if (p == Prediction::kAbsent) {
-    // The core guarantee: a bypass may never hide on-chip data.
-    REDHIP_DCHECK(!shared_->contains(line));
+  // The core guarantee: a bypass may never hide on-chip data.  audit_bypass
+  // enforces it (debug check, or the online auditor under injected faults).
+  if (p == Prediction::kAbsent && audit_bypass(line)) {
     for (std::uint32_t lvl = 1; lvl < n; ++lvl) ++events_[lvl].skipped;
     lat += config_.memory_latency;
     ++memory_accesses_;
@@ -415,8 +489,7 @@ Cycles MulticoreSimulator::access_hybrid(CoreId core, LineAddr line,
 
   note_l1_miss();
   const Prediction p = query_llc_predictor(line, lat);
-  if (p == Prediction::kAbsent) {
-    REDHIP_DCHECK(!shared_->contains(line));
+  if (p == Prediction::kAbsent && audit_bypass(line)) {
     for (std::uint32_t lvl = 1; lvl < n; ++lvl) ++events_[lvl].skipped;
     lat += config_.memory_latency;
     ++memory_accesses_;
@@ -540,8 +613,8 @@ void MulticoreSimulator::run_prefetches(CoreId core, const MemRef& ref) {
     std::uint32_t found_lvl = 0;
     if (llc_pred_) {
       Cycles ignored = 0;
-      if (query_llc_predictor(q, ignored) == Prediction::kAbsent) {
-        REDHIP_DCHECK(!shared_->contains(q));
+      if (query_llc_predictor(q, ignored) == Prediction::kAbsent &&
+          audit_bypass(q)) {
         go_to_memory = true;
       }
     }
@@ -609,6 +682,10 @@ SimResult MulticoreSimulator::run(std::uint64_t max_refs_per_core) {
       --active;
       continue;
     }
+    if (injector_) {
+      injector_->maybe_perturb(ref);  // FaultSite::kTraceAddr
+      inject_faults();                // PT single-event upsets
+    }
     cs.clock += cs.cpi.advance(ref.gap);
     const std::uint64_t misses_before = events_[0].misses;
     cs.clock += access(best, ref);
@@ -645,6 +722,11 @@ SimResult MulticoreSimulator::run(std::uint64_t max_refs_per_core) {
   r.memory_writebacks = memory_writebacks_;
   r.recal_stall_cycles = recal_stall_cycles_;
   r.predictor_disabled_refs = predictor_disabled_refs_;
+  if (injector_) r.fault = injector_->stats();
+  r.fault.audit_checks = audit_checks_;
+  r.fault.invariant_violations = invariant_violations_;
+  r.fault.recovery_recalibrations = recovery_recals_;
+  r.fault.recovery_stall_cycles = recovery_stall_cycles_;
   for (const auto& cs : cores_) {
     r.core_cycles.push_back(cs.clock);
     r.exec_cycles = std::max(r.exec_cycles, cs.clock);

@@ -18,6 +18,7 @@
 
 #include "cache/tag_array.h"
 #include "common/fixed_point.h"
+#include "fault/fault.h"
 #include "predict/predictor.h"
 #include "prefetch/stride_prefetcher.h"
 #include "sim/config.h"
@@ -45,6 +46,14 @@ class MulticoreSimulator {
     return level_array(level, core);
   }
   const LlcPredictor* llc_predictor_for_test() const { return llc_pred_.get(); }
+  // Mutable PT handle + auditor counters, for fault/recovery tests that
+  // corrupt state and single-step accesses without a full run().
+  RedhipTable* llc_redhip_for_test() { return llc_redhip_; }
+  std::uint64_t audit_checks_for_test() const { return audit_checks_; }
+  std::uint64_t invariant_violations_for_test() const {
+    return invariant_violations_;
+  }
+  std::uint64_t recovery_recals_for_test() const { return recovery_recals_; }
   const HierarchyConfig& config() const { return config_; }
 
  private:
@@ -101,6 +110,15 @@ class MulticoreSimulator {
   // Predictor bookkeeping shared by the access paths.
   Prediction query_llc_predictor(LineAddr line, Cycles& latency);
   void note_l1_miss();
+  // Online invariant auditor: shadow-check a predicted-absent decision
+  // against the LLC tag array.  Returns true when the bypass is safe; on a
+  // violation counts it, applies the configured recovery policy, and
+  // returns false so the caller walks the hierarchy instead (graceful
+  // degradation — the access is priced as if predicted present).
+  bool audit_bypass(LineAddr line);
+  // Per-reference fault injection into the PT (src/fault).  No-op unless
+  // the injector exists and the scheme has a ReDHiP table over the LLC.
+  void inject_faults();
   // Auto-disable (paper §IV): epoch evaluation of predictor usefulness.
   void evaluate_auto_disable();
 
@@ -136,6 +154,15 @@ class MulticoreSimulator {
   std::uint32_t disable_backoff_ = 1;
   std::uint32_t disabled_epochs_left_ = 0;
   std::uint64_t predictor_disabled_refs_ = 0;
+
+  // Fault injection + invariant auditing (null/zero when disabled; the hot
+  // path only pays a pointer test).
+  std::unique_ptr<FaultInjector> injector_;
+  RedhipTable* llc_redhip_ = nullptr;  // llc_pred_ downcast, for fault hooks
+  std::uint64_t audit_checks_ = 0;
+  std::uint64_t invariant_violations_ = 0;
+  std::uint64_t recovery_recals_ = 0;
+  Cycles recovery_stall_cycles_ = 0;
 
   std::vector<LevelEvents> events_;
   PrefetchEvents prefetch_events_;  // simulator-level prefetch accounting

@@ -6,6 +6,7 @@
 
 #include "common/types.h"
 #include "energy/ledger.h"
+#include "fault/fault.h"
 
 namespace redhip {
 
@@ -27,6 +28,9 @@ struct SimResult {
   std::uint64_t total_refs = 0;
   // References executed while the predictor was auto-disabled (§IV).
   std::uint64_t predictor_disabled_refs = 0;
+  // Injected-fault and invariant-audit counters (all zero when both are
+  // off; see src/fault and DESIGN.md "Fault model & recovery").
+  FaultStats fault;
   double elapsed_seconds = 0.0;
 
   EnergyBreakdown energy;

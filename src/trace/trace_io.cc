@@ -1,6 +1,7 @@
 #include "trace/trace_io.h"
 
 #include <cstring>
+#include <sstream>
 
 #include "common/check.h"
 
@@ -19,7 +20,7 @@ constexpr std::uint64_t kHeaderBytes = 24;
 
 }  // namespace
 
-TraceWriter::TraceWriter(const std::string& path) {
+TraceWriter::TraceWriter(const std::string& path) : path_(path) {
   file_ = std::fopen(path.c_str(), "wb");
   REDHIP_CHECK_MSG(file_ != nullptr, "cannot open trace for writing: " + path);
   char header[kHeaderBytes] = {};
@@ -30,38 +31,107 @@ TraceWriter::TraceWriter(const std::string& path) {
 TraceWriter::~TraceWriter() {
   try {
     finish();
-  } catch (...) {
-    // Destructor must not throw; the file is left closed but the header
-    // count may be stale.  Callers who care should call finish() directly.
+  } catch (const std::exception& e) {
+    // Destructors must not throw; the trace on disk has a stale record
+    // count.  Say so once — a silently-wrong trace file is the failure mode
+    // the reader's length validation exists to catch.
+    std::fprintf(stderr, "TraceWriter(%s): finish failed in destructor: %s\n",
+                 path_.c_str(), e.what());
   }
 }
 
 void TraceWriter::append(const MemRef& ref) {
-  REDHIP_CHECK_MSG(!finished_, "append after finish");
+  REDHIP_CHECK_MSG(!finished_, "append after finish: " + path_);
   PackedRecord rec{ref.addr, ref.pc, ref.gap,
                    static_cast<std::uint16_t>(ref.is_write ? 1 : 0)};
-  REDHIP_CHECK(std::fwrite(&rec, sizeof(rec), 1, file_) == 1);
+  REDHIP_CHECK_MSG(std::fwrite(&rec, sizeof(rec), 1, file_) == 1,
+                   "short write appending to trace: " + path_);
   ++count_;
 }
 
 void TraceWriter::finish() {
   if (finished_) return;
-  finished_ = true;
-  REDHIP_CHECK(std::fseek(file_, sizeof(kTraceMagic), SEEK_SET) == 0);
-  REDHIP_CHECK(std::fwrite(&count_, sizeof(count_), 1, file_) == 1);
-  std::fclose(file_);
+  finished_ = true;  // set first: a second call must be a no-op, and the
+                     // FILE* below is consumed even on failure (no UB on a
+                     // closed handle from a retried finish)
+  std::FILE* f = file_;
   file_ = nullptr;
+  const bool seek_ok = std::fseek(f, sizeof(kTraceMagic), SEEK_SET) == 0;
+  const bool write_ok =
+      seek_ok && std::fwrite(&count_, sizeof(count_), 1, f) == 1;
+  const bool flush_ok = std::fflush(f) == 0;
+  std::fclose(f);
+  REDHIP_CHECK_MSG(seek_ok && write_ok && flush_ok,
+                   "cannot patch record count into trace header: " + path_);
+}
+
+Result<std::unique_ptr<FileTraceSource>> FileTraceSource::open(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status(StatusCode::kNotFound, "cannot open trace: " + path);
+  }
+  auto src = std::unique_ptr<FileTraceSource>(new FileTraceSource());
+  src->path_ = path;
+  src->file_ = f;
+
+  char header[kHeaderBytes];
+  const std::size_t got = std::fread(header, 1, kHeaderBytes, f);
+  if (got != kHeaderBytes) {
+    std::ostringstream os;
+    os << "trace " << path << ": truncated header (" << got << " of "
+       << kHeaderBytes << " bytes)";
+    return Status(StatusCode::kDataLoss, os.str());
+  }
+  if (std::memcmp(header, kTraceMagic, sizeof(kTraceMagic)) != 0) {
+    return Status(StatusCode::kDataLoss, "trace " + path +
+                                             ": bad magic (not a REDHIPT1 "
+                                             "trace file)");
+  }
+  std::memcpy(&src->total_, header + sizeof(kTraceMagic), sizeof(src->total_));
+
+  // Validate the header's record count against the file's actual length so
+  // corruption surfaces here, with exact numbers, instead of as a silent
+  // short read mid-simulation.
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    return Status(StatusCode::kInternal, "trace " + path + ": seek failed");
+  }
+  const long end = std::ftell(f);
+  if (end < 0) {
+    return Status(StatusCode::kInternal, "trace " + path + ": tell failed");
+  }
+  const std::uint64_t expected =
+      kHeaderBytes + src->total_ * sizeof(PackedRecord);
+  if (static_cast<std::uint64_t>(end) != expected) {
+    std::ostringstream os;
+    os << "trace " << path << ": header claims " << src->total_
+       << " records (" << expected << " bytes) but the file holds " << end
+       << " bytes";
+    if (static_cast<std::uint64_t>(end) > expected) {
+      os << " (trailing garbage)";
+    } else if ((static_cast<std::uint64_t>(end) - kHeaderBytes) %
+                   sizeof(PackedRecord) !=
+               0) {
+      os << " (truncated mid-record)";
+    } else {
+      os << " (truncated)";
+    }
+    return Status(StatusCode::kDataLoss, os.str());
+  }
+  if (std::fseek(f, kHeaderBytes, SEEK_SET) != 0) {
+    return Status(StatusCode::kInternal, "trace " + path + ": seek failed");
+  }
+  return src;
 }
 
 FileTraceSource::FileTraceSource(const std::string& path) {
-  file_ = std::fopen(path.c_str(), "rb");
-  REDHIP_CHECK_MSG(file_ != nullptr, "cannot open trace: " + path);
-  char header[kHeaderBytes];
-  REDHIP_CHECK_MSG(std::fread(header, 1, kHeaderBytes, file_) == kHeaderBytes,
-                   "truncated trace header: " + path);
-  REDHIP_CHECK_MSG(std::memcmp(header, kTraceMagic, sizeof(kTraceMagic)) == 0,
-                   "bad trace magic: " + path);
-  std::memcpy(&total_, header + sizeof(kTraceMagic), sizeof(total_));
+  auto result = open(path);
+  result.status().throw_if_error();
+  FileTraceSource& src = *result.value();
+  path_ = std::move(src.path_);
+  file_ = src.file_;
+  total_ = src.total_;
+  src.file_ = nullptr;
 }
 
 FileTraceSource::~FileTraceSource() {
@@ -71,7 +141,14 @@ FileTraceSource::~FileTraceSource() {
 bool FileTraceSource::next(MemRef& out) {
   if (read_ >= total_) return false;
   PackedRecord rec;
-  if (std::fread(&rec, sizeof(rec), 1, file_) != 1) return false;
+  if (std::fread(&rec, sizeof(rec), 1, file_) != 1) {
+    // Impossible for a file that passed the open-time length check and was
+    // not modified since; refuse to degrade it into a silent early EOF.
+    std::ostringstream os;
+    os << "trace " << path_ << ": short read at record " << read_ << " of "
+       << total_ << " (file changed after open?)";
+    throw std::runtime_error(os.str());
+  }
   ++read_;
   out.addr = rec.addr;
   out.pc = rec.pc;

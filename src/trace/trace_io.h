@@ -6,6 +6,13 @@
 // All fields little-endian.  The writer and reader are deliberately simple
 // streaming classes; a converter from a pintool's output is a ~20-line loop
 // over TraceWriter::append.
+//
+// Robustness: the reader validates the file up front — magic, header size,
+// and that the byte length matches the header's record count exactly — and
+// every failure carries a precise diagnostic (path, expected vs actual
+// bytes) instead of a silent EOF.  `FileTraceSource::open` is the
+// non-throwing Status/Result entry point; the constructor wraps it and
+// throws for call sites that prefer exceptions.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +20,7 @@
 #include <memory>
 #include <string>
 
+#include "common/status.h"
 #include "trace/mem_ref.h"
 
 namespace redhip {
@@ -27,14 +35,17 @@ class TraceWriter {
   TraceWriter& operator=(const TraceWriter&) = delete;
 
   void append(const MemRef& ref);
-  // Flushes the record count into the header and closes the file.  Called
-  // by the destructor if not called explicitly; explicit calls can throw on
-  // I/O errors, the destructor swallows them.
+  // Flushes the record count into the header and closes the file.  The file
+  // is closed even when patching the header fails (no leaked FILE*), and a
+  // second call is a no-op.  Called by the destructor if not called
+  // explicitly; explicit calls can throw on I/O errors, the destructor
+  // logs them to stderr instead.
   void finish();
 
   std::uint64_t records_written() const { return count_; }
 
  private:
+  std::string path_;  // for diagnostics
   std::FILE* file_ = nullptr;
   std::uint64_t count_ = 0;
   bool finished_ = false;
@@ -42,16 +53,28 @@ class TraceWriter {
 
 class FileTraceSource final : public TraceSource {
  public:
+  // Validating factory: NOT_FOUND for a missing file, DATA_LOSS with the
+  // exact byte counts for a truncated header, bad magic, or a record count
+  // that does not match the file's length.
+  static Result<std::unique_ptr<FileTraceSource>> open(const std::string& path);
+
+  // Throwing convenience over open() (std::runtime_error with the Status
+  // diagnostic).
   explicit FileTraceSource(const std::string& path);
   ~FileTraceSource() override;
   FileTraceSource(const FileTraceSource&) = delete;
   FileTraceSource& operator=(const FileTraceSource&) = delete;
 
+  // Throws std::runtime_error if the file shrinks mid-read (the open-time
+  // length check makes this impossible for an untouched file).
   bool next(MemRef& out) override;
 
   std::uint64_t record_count() const { return total_; }
 
  private:
+  FileTraceSource() = default;
+
+  std::string path_;
   std::FILE* file_ = nullptr;
   std::uint64_t total_ = 0;
   std::uint64_t read_ = 0;

@@ -114,6 +114,106 @@ TEST(ConfigFile, RejectsBadValuesAndSections) {
       << "a machine with no levels must not validate";
 }
 
+TEST(ConfigFile, BadNumericValuesNameTheLineAndKey) {
+  try {
+    parse_config_text("cores = 8\nfreq_ghz = fast\n[level]\nsize=8K\n");
+    FAIL() << "should have thrown";
+  } catch (const std::logic_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("key 'freq_ghz'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("fast"), std::string::npos) << msg;
+  }
+  try {
+    parse_config_text("[level]\nsize = 8K\nways = 2x\n");
+    FAIL() << "should have thrown";
+  } catch (const std::logic_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("key 'ways'"), std::string::npos) << msg;
+  }
+  try {
+    parse_config_text("prefetch = maybe\n[level]\nsize=8K\n");
+    FAIL() << "should have thrown";
+  } catch (const std::logic_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("key 'prefetch'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("bad boolean"), std::string::npos) << msg;
+  }
+}
+
+TEST(ConfigFile, ParsesFaultAndAuditSections) {
+  const HierarchyConfig c = parse_config_text(R"(
+scheme = redhip
+[level]
+size = 8K
+ways = 2
+[level]
+size = 64M
+ways = 16
+[fault]
+enabled = true
+rate_per_mref = 250
+sites = pt_clear,recal_drop
+seed = 777
+transient = false
+[audit]
+enabled = true
+policy = count-only
+)");
+  EXPECT_TRUE(c.fault.enabled);
+  EXPECT_EQ(c.fault.rate_per_mref, 250u);
+  EXPECT_EQ(c.fault.site_mask,
+            static_cast<std::uint32_t>(FaultSite::kPtBitClear) |
+                static_cast<std::uint32_t>(FaultSite::kRecalDrop));
+  EXPECT_EQ(c.fault.seed, 777u);
+  EXPECT_FALSE(c.fault.transient);
+  EXPECT_TRUE(c.audit.enabled);
+  EXPECT_EQ(c.audit.policy, RecoveryPolicy::kCountOnly);
+}
+
+TEST(ConfigFile, RejectsBadFaultAndAuditValues) {
+  const char* kPrefix =
+      "scheme = redhip\n[level]\nsize=8K\nways=2\n[level]\nsize=64M\nways=16\n";
+  try {
+    parse_config_text(std::string(kPrefix) + "[fault]\nsites = pt_clear,bogus\n");
+    FAIL() << "should have thrown";
+  } catch (const std::logic_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 9"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("bogus"), std::string::npos) << msg;
+  }
+  try {
+    parse_config_text(std::string(kPrefix) + "[audit]\npolicy = panic\n");
+    FAIL() << "should have thrown";
+  } catch (const std::logic_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 9"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("panic"), std::string::npos) << msg;
+  }
+  EXPECT_THROW(
+      parse_config_text(std::string(kPrefix) + "[fault]\nwibble = 1\n"),
+      std::logic_error);
+}
+
+TEST(ConfigFile, FaultAndAuditRoundTripThroughText) {
+  HierarchyConfig original = HierarchyConfig::scaled(8, Scheme::kRedhip);
+  original.fault.enabled = true;
+  original.fault.rate_per_mref = 42;
+  original.fault.site_mask = static_cast<std::uint32_t>(FaultSite::kPtBitSet);
+  original.fault.seed = 12345;
+  original.audit.enabled = true;
+  original.audit.policy = RecoveryPolicy::kRecalibrate;
+  const HierarchyConfig reparsed = parse_config_text(config_to_text(original));
+  EXPECT_TRUE(reparsed.fault.enabled);
+  EXPECT_EQ(reparsed.fault.rate_per_mref, 42u);
+  EXPECT_EQ(reparsed.fault.site_mask, original.fault.site_mask);
+  EXPECT_EQ(reparsed.fault.seed, 12345u);
+  EXPECT_TRUE(reparsed.audit.enabled);
+  EXPECT_EQ(reparsed.audit.policy, RecoveryPolicy::kRecalibrate);
+}
+
 TEST(ConfigFile, ValidationStillApplies) {
   // p <= k must be rejected just like a programmatic config.
   EXPECT_THROW(parse_config_text(R"(

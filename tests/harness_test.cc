@@ -146,6 +146,62 @@ TEST(ThreadPoolTest, RunAllConvenience) {
   EXPECT_EQ(sum.load(), 55);
 }
 
+TEST(ThreadPoolTest, ThrowingTaskDoesNotTerminateAndIsRethrown) {
+  // Pre-hardening this was std::terminate (exception escaping a worker
+  // thread).  Now: the pool survives, keeps draining, and wait_idle
+  // rethrows the first failure.
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.submit([] { throw std::runtime_error("poisoned task"); });
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&ran] { ++ran; });
+  }
+  try {
+    pool.wait_idle();
+    FAIL() << "wait_idle must rethrow the task exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "poisoned task");
+  }
+  EXPECT_EQ(ran.load(), 20) << "queue must drain despite the failure";
+  // The pool is reusable after the error has been consumed.
+  pool.submit([&ran] { ++ran; });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 21);
+}
+
+TEST(ThreadPoolTest, OnlyFirstErrorIsKept) {
+  ThreadPool pool(1);  // single worker: deterministic failure order
+  pool.submit([] { throw std::runtime_error("first"); });
+  pool.submit([] { throw std::runtime_error("second"); });
+  try {
+    pool.wait_idle();
+    FAIL() << "wait_idle must rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.submit([&ran] { ++ran; });
+  pool.shutdown();
+  EXPECT_EQ(ran.load(), 1) << "shutdown drains pending work";
+  EXPECT_THROW(pool.submit([] {}), std::logic_error);
+  pool.shutdown();  // idempotent
+}
+
+TEST(ThreadPoolTest, RunAllRethrowsAfterDrainingEverything) {
+  std::atomic<int> ran{0};
+  std::vector<std::function<void()>> tasks;
+  tasks.push_back([] { throw std::logic_error("bad config"); });
+  for (int i = 0; i < 10; ++i) {
+    tasks.push_back([&ran] { ++ran; });
+  }
+  EXPECT_THROW(ThreadPool::run_all(std::move(tasks), 2), std::logic_error);
+  EXPECT_EQ(ran.load(), 10);
+}
+
 TEST(Report, FormattersProduceExpectedStrings) {
   EXPECT_EQ(pct_delta(1.083), "+8.3%");
   EXPECT_EQ(pct_delta(0.97), "-3.0%");

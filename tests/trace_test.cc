@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <map>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "trace/kernels.h"
 #include "trace/mem_ref.h"
@@ -329,17 +331,105 @@ TEST(TraceIo, RoundTripsRecords) {
   std::remove(path.c_str());
 }
 
-TEST(TraceIo, RejectsBadMagic) {
-  const std::string path = ::testing::TempDir() + "/bad.trace";
+// Writes `bytes` raw bytes to a fresh file and returns its path.
+std::string write_raw(const std::string& name, const std::string& bytes) {
+  const std::string path = ::testing::TempDir() + "/" + name;
   std::FILE* f = std::fopen(path.c_str(), "wb");
-  std::fwrite("NOTATRACE-HEADER-24bytes", 1, 24, f);
+  if (!bytes.empty()) std::fwrite(bytes.data(), 1, bytes.size(), f);
   std::fclose(f);
-  EXPECT_THROW(FileTraceSource{path}, std::logic_error);
+  return path;
+}
+
+// A syntactically valid header claiming `count` records.
+std::string header_bytes(std::uint64_t count) {
+  std::string h(24, '\0');
+  std::memcpy(h.data(), kTraceMagic, 8);
+  std::memcpy(h.data() + 8, &count, 8);
+  return h;
+}
+
+TEST(TraceIo, RejectsBadMagic) {
+  const std::string path =
+      write_raw("bad.trace", "NOTATRACE-HEADER-24bytes");
+  EXPECT_THROW(FileTraceSource{path}, std::runtime_error);
+  auto r = FileTraceSource::open(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(r.status().message().find("bad magic"), std::string::npos);
   std::remove(path.c_str());
 }
 
 TEST(TraceIo, RejectsMissingFile) {
-  EXPECT_THROW(FileTraceSource{"/nonexistent/path.trace"}, std::logic_error);
+  EXPECT_THROW(FileTraceSource{"/nonexistent/path.trace"}, std::runtime_error);
+  auto r = FileTraceSource::open("/nonexistent/path.trace");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(TraceIo, RejectsTruncatedHeader) {
+  const std::string path = write_raw("shorthdr.trace", "REDHIPT1\x02");
+  auto r = FileTraceSource::open(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(r.status().message().find("truncated header (9 of 24 bytes)"),
+            std::string::npos)
+      << r.status().message();
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsRecordCountLargerThanFile) {
+  // Header promises 100 records, body holds 2 complete ones.
+  const std::string path = write_raw(
+      "overcount.trace", header_bytes(100) + std::string(32, '\x41'));
+  auto r = FileTraceSource::open(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+  const std::string& msg = r.status().message();
+  EXPECT_NE(msg.find("header claims 100 records"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("(truncated)"), std::string::npos) << msg;
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsMidRecordTruncation) {
+  // Header promises 2 records but the body stops 8 bytes into the second.
+  const std::string path = write_raw(
+      "midrec.trace", header_bytes(2) + std::string(24, '\x42'));
+  auto r = FileTraceSource::open(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(r.status().message().find("truncated mid-record"),
+            std::string::npos)
+      << r.status().message();
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsTrailingGarbage) {
+  const std::string path = write_raw(
+      "garbage.trace", header_bytes(1) + std::string(16, '\x43') + "oops");
+  auto r = FileTraceSource::open(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("trailing garbage"), std::string::npos)
+      << r.status().message();
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, SecondFinishIsANoOp) {
+  const std::string path = ::testing::TempDir() + "/refinish.trace";
+  TraceWriter w(path);
+  w.append(MemRef{0x40, 1, 0, false});
+  w.finish();
+  w.finish();  // must not touch the (closed) file or throw
+  FileTraceSource src(path);
+  EXPECT_EQ(src.record_count(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, AppendAfterFinishFails) {
+  const std::string path = ::testing::TempDir() + "/closed.trace";
+  TraceWriter w(path);
+  w.finish();
+  EXPECT_THROW(w.append(MemRef{0x40, 1, 0, false}), std::logic_error);
+  std::remove(path.c_str());
 }
 
 TEST(TraceIo, SimulatorConsumesFileTrace) {
