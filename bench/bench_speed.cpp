@@ -1,0 +1,182 @@
+// bench_speed — end-to-end simulation speed benchmark (BENCH_speed.json).
+//
+// Runs the base + redhip columns over the full workload list twice — once
+// on the fast engine (batched traces, specialized run loops, heap
+// scheduler) and once on the reference engine (the original scalar loop,
+// kept as the bit-identical oracle) — and reports per-run and aggregate
+// host throughput in simulated Mrefs/s.  Every (workload, column) cell is
+// checked for statistically identical results across the two engines, so
+// the speed number is only ever reported for a correct engine.
+//
+// `--pre-pr-wall <seconds>` additionally records a speedup against an
+// externally measured wall time (scripts/bench_speed.sh passes the wall
+// time of the pre-fast-path engine measured on the same machine).
+//
+// Usage: bench_speed [--scale=8] [--refs=1000000] [--seed=42] [--jobs=N]
+//                    [--out=BENCH_speed.json] [--pre-pr-wall=SECONDS]
+//                    [--pre-pr-note=TEXT] [--skip-reference]
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "harness/experiment.h"
+#include "sim/stats.h"
+
+using namespace redhip;
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+void append_engine_block(std::ostringstream& os, const char* name,
+                         const ExperimentOptions& opts,
+                         const std::vector<SchemeColumn>& columns,
+                         const std::vector<std::vector<SimResult>>& results,
+                         const MatrixStats& stats) {
+  os << "  \"" << name << "\": {\n";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "    \"matrix_wall_seconds\": %.3f,\n"
+                "    \"total_refs\": %llu,\n"
+                "    \"mrefs_per_s\": %.3f,\n",
+                stats.wall_seconds,
+                static_cast<unsigned long long>(stats.total_refs),
+                stats.mrefs_per_s);
+  os << buf;
+  os << "    \"runs\": [\n";
+  for (std::size_t b = 0; b < opts.benches.size(); ++b) {
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      const SimResult& r = results[b][c];
+      std::snprintf(buf, sizeof(buf),
+                    "      {\"bench\": \"%s\", \"column\": \"%s\", "
+                    "\"host_seconds\": %.3f, \"mrefs_per_s\": %.3f}%s\n",
+                    to_string(opts.benches[b]).c_str(),
+                    columns[c].label.c_str(), r.host_seconds,
+                    r.host_mrefs_per_s,
+                    (b + 1 == opts.benches.size() && c + 1 == columns.size())
+                        ? ""
+                        : ",");
+      os << buf;
+    }
+  }
+  os << "    ]\n  }";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli(argc, argv);
+  ExperimentOptions opts = ExperimentOptions::parse(cli);
+  const std::string out_path = cli.get("out", "BENCH_speed.json");
+  const double pre_pr_wall = cli.get_double("pre-pr-wall", 0.0);
+  const std::string pre_pr_note = cli.get("pre-pr-note", "");
+  const bool skip_reference = cli.get_bool("skip-reference", false);
+
+  std::vector<SchemeColumn> columns(2);
+  columns[0].label = "base";
+  columns[0].scheme = Scheme::kBase;
+  columns[1].label = "redhip";
+  columns[1].scheme = Scheme::kRedhip;
+
+  std::printf("bench_speed: scale=%u refs=%llu seed=%llu benches=%zu\n",
+              opts.scale, static_cast<unsigned long long>(opts.refs_per_core),
+              static_cast<unsigned long long>(opts.seed),
+              opts.benches.size());
+
+  opts.engine = SimEngine::kFast;
+  MatrixStats fast_stats;
+  const auto fast = run_matrix(opts, columns, &fast_stats);
+  std::printf("fast engine:      %.3fs  (%.3f Mrefs/s)\n",
+              fast_stats.wall_seconds, fast_stats.mrefs_per_s);
+
+  std::vector<std::vector<SimResult>> ref;
+  MatrixStats ref_stats;
+  if (!skip_reference) {
+    opts.engine = SimEngine::kReference;
+    ref = run_matrix(opts, columns, &ref_stats);
+    std::printf("reference engine: %.3fs  (%.3f Mrefs/s)\n",
+                ref_stats.wall_seconds, ref_stats.mrefs_per_s);
+    // The speed claim is only meaningful if the fast engine computes the
+    // same simulation — verify every cell.
+    for (std::size_t b = 0; b < opts.benches.size(); ++b) {
+      for (std::size_t c = 0; c < columns.size(); ++c) {
+        if (!stats_identical(fast[b][c], ref[b][c])) {
+          std::fprintf(stderr,
+                       "FAIL: fast/reference results differ for %s/%s\n",
+                       to_string(opts.benches[b]).c_str(),
+                       columns[c].label.c_str());
+          return 1;
+        }
+      }
+    }
+    std::printf("engines bit-identical across all %zu runs\n",
+                opts.benches.size() * columns.size());
+  }
+
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"config\": {\n";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "    \"scale\": %u,\n    \"refs_per_core\": %llu,\n"
+                "    \"seed\": %llu,\n    \"jobs\": %zu,\n",
+                opts.scale,
+                static_cast<unsigned long long>(opts.refs_per_core),
+                static_cast<unsigned long long>(opts.seed), opts.jobs);
+  os << buf;
+  os << "    \"columns\": [";
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    os << (c ? ", " : "") << '"' << json_escape(columns[c].label) << '"';
+  }
+  os << "],\n    \"benches\": [";
+  for (std::size_t b = 0; b < opts.benches.size(); ++b) {
+    os << (b ? ", " : "") << '"' << to_string(opts.benches[b]) << '"';
+  }
+  os << "]\n  },\n";
+  append_engine_block(os, "fast_engine", opts, columns, fast, fast_stats);
+  if (!skip_reference) {
+    os << ",\n";
+    append_engine_block(os, "reference_engine", opts, columns, ref,
+                        ref_stats);
+    std::snprintf(buf, sizeof(buf), ",\n  \"speedup_vs_reference\": %.3f",
+                  fast_stats.wall_seconds > 0.0
+                      ? ref_stats.wall_seconds / fast_stats.wall_seconds
+                      : 0.0);
+    os << buf;
+  }
+  if (pre_pr_wall > 0.0) {
+    std::snprintf(buf, sizeof(buf),
+                  ",\n  \"pre_pr\": {\n    \"wall_seconds\": %.3f,\n"
+                  "    \"speedup_vs_pre_pr\": %.3f,\n",
+                  pre_pr_wall,
+                  fast_stats.wall_seconds > 0.0
+                      ? pre_pr_wall / fast_stats.wall_seconds
+                      : 0.0);
+    os << buf;
+    os << "    \"note\": \"" << json_escape(pre_pr_note) << "\"\n  }";
+  }
+  os << "\n}\n";
+
+  std::ofstream f(out_path);
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  f << os.str();
+  std::printf("wrote %s\n", out_path.c_str());
+  if (pre_pr_wall > 0.0 && fast_stats.wall_seconds > 0.0) {
+    std::printf("speedup vs pre-PR engine: %.2fx\n",
+                pre_pr_wall / fast_stats.wall_seconds);
+  }
+  return 0;
+}

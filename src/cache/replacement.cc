@@ -49,24 +49,6 @@ LruPolicy::LruPolicy(std::uint64_t sets, std::uint32_t ways)
   }
 }
 
-void LruPolicy::touch(std::uint64_t set, std::uint32_t way) {
-  std::uint8_t* r = &rank_[set * ways_];
-  const std::uint8_t old = r[way];
-  for (std::uint32_t w = 0; w < ways_; ++w) {
-    if (r[w] < old) ++r[w];
-  }
-  r[way] = 0;
-}
-
-std::uint32_t LruPolicy::victim(std::uint64_t set) {
-  const std::uint8_t* r = &rank_[set * ways_];
-  std::uint32_t worst = 0;
-  for (std::uint32_t w = 1; w < ways_; ++w) {
-    if (r[w] > r[worst]) worst = w;
-  }
-  return worst;
-}
-
 std::uint8_t LruPolicy::rank(std::uint64_t set, std::uint32_t way) const {
   return rank_[set * ways_ + way];
 }

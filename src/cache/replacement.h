@@ -45,11 +45,38 @@ class ReplacementPolicy {
 // True LRU.  Per (set, way) an 8-bit rank: 0 = most recent.  touch() promotes
 // a way to rank 0 and ages only the ways that were more recent than it, so
 // ranks remain a permutation of [0, ways).
+//
+// touch()/victim() are inline (and have non-virtual equivalents) because LRU
+// is the paper machine's policy and these sit on the simulator's hottest
+// path; TagArray calls them directly when the configured policy is LRU.
 class LruPolicy final : public ReplacementPolicy {
  public:
   LruPolicy(std::uint64_t sets, std::uint32_t ways);
-  void touch(std::uint64_t set, std::uint32_t way) override;
-  std::uint32_t victim(std::uint64_t set) override;
+
+  void touch_inline(std::uint64_t set, std::uint32_t way) {
+    std::uint8_t* r = &rank_[set * ways_];
+    const std::uint8_t old = r[way];
+    // Re-touching the MRU way is a no-op (no rank is below 0), and repeated
+    // hits to the same line are the single most common access pattern.
+    if (old == 0) return;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+      if (r[w] < old) ++r[w];
+    }
+    r[way] = 0;
+  }
+  std::uint32_t victim_inline(std::uint64_t set) const {
+    const std::uint8_t* r = &rank_[set * ways_];
+    std::uint32_t worst = 0;
+    for (std::uint32_t w = 1; w < ways_; ++w) {
+      if (r[w] > r[worst]) worst = w;
+    }
+    return worst;
+  }
+
+  void touch(std::uint64_t set, std::uint32_t way) override {
+    touch_inline(set, way);
+  }
+  std::uint32_t victim(std::uint64_t set) override { return victim_inline(set); }
   ReplacementKind kind() const override { return ReplacementKind::kLru; }
 
   // Exposed for tests: current rank of a way (0 = MRU).

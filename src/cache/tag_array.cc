@@ -13,105 +13,25 @@ TagArray::TagArray(const CacheGeometry& geom, std::uint64_t seed)
   bank_mask_ = geom_.banks - 1;
   entries_.resize(sets_ * geom_.ways);
   repl_ = ReplacementPolicy::create(geom_.replacement, sets_, geom_.ways, seed);
-}
-
-TagArray::LookupResult TagArray::lookup(LineAddr line, bool is_write) {
-  const std::uint64_t set = set_of(line);
-  const std::uint64_t tag = tag_of(line);
-  Entry* e = set_begin(set);
-  for (std::uint32_t w = 0; w < geom_.ways; ++w) {
-    if (e[w].valid && e[w].tag == tag) {
-      repl_->touch(set, w);
-      LookupResult r{true, w, e[w].prefetched};
-      e[w].prefetched = false;
-      if (is_write) e[w].dirty = true;
-      return r;
+  lru_ = dynamic_cast<LruPolicy*>(repl_.get());
+  embedded_lru_ = lru_ != nullptr && geom_.ways <= 16;
+  if (embedded_lru_) {
+    // Mirror LruPolicy's initial order (rank == way index, way 0 MRU) in
+    // the entries' rank nibbles; the side policy object goes unused.
+    for (std::uint64_t s = 0; s < sets_; ++s) {
+      Entry* e = set_begin(s);
+      for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+        e[w] = Entry{w} << kRankShift;
+      }
     }
   }
-  return {};
-}
-
-bool TagArray::contains(LineAddr line) const {
-  const std::uint64_t set = set_of(line);
-  const std::uint64_t tag = tag_of(line);
-  const Entry* e = set_begin(set);
-  for (std::uint32_t w = 0; w < geom_.ways; ++w) {
-    if (e[w].valid && e[w].tag == tag) return true;
-  }
-  return false;
-}
-
-TagArray::FillResult TagArray::fill(LineAddr line, bool prefetched,
-                                    bool dirty) {
-  REDHIP_DCHECK(!contains(line));
-  const std::uint64_t set = set_of(line);
-  const std::uint64_t tag = tag_of(line);
-  Entry* e = set_begin(set);
-  // Prefer an invalid way.
-  for (std::uint32_t w = 0; w < geom_.ways; ++w) {
-    if (!e[w].valid) {
-      e[w] = {tag, true, prefetched, dirty};
-      repl_->touch(set, w);
-      ++valid_count_;
-      return {};
-    }
-  }
-  const std::uint32_t w = repl_->victim(set);
-  FillResult r;
-  r.evicted = true;
-  r.victim = line_of(set, e[w].tag);
-  r.victim_was_prefetched = e[w].prefetched;
-  r.victim_was_dirty = e[w].dirty;
-  e[w] = {tag, true, prefetched, dirty};
-  repl_->touch(set, w);
-  return r;
-}
-
-bool TagArray::invalidate(LineAddr line, bool* was_dirty) {
-  const std::uint64_t set = set_of(line);
-  const std::uint64_t tag = tag_of(line);
-  Entry* e = set_begin(set);
-  for (std::uint32_t w = 0; w < geom_.ways; ++w) {
-    if (e[w].valid && e[w].tag == tag) {
-      if (was_dirty != nullptr) *was_dirty = e[w].dirty;
-      e[w].valid = false;
-      e[w].prefetched = false;
-      e[w].dirty = false;
-      --valid_count_;
-      return true;
-    }
-  }
-  return false;
-}
-
-bool TagArray::mark_dirty(LineAddr line) {
-  const std::uint64_t set = set_of(line);
-  const std::uint64_t tag = tag_of(line);
-  Entry* e = set_begin(set);
-  for (std::uint32_t w = 0; w < geom_.ways; ++w) {
-    if (e[w].valid && e[w].tag == tag) {
-      e[w].dirty = true;
-      return true;
-    }
-  }
-  return false;
-}
-
-bool TagArray::is_dirty(LineAddr line) const {
-  const std::uint64_t set = set_of(line);
-  const std::uint64_t tag = tag_of(line);
-  const Entry* e = set_begin(set);
-  for (std::uint32_t w = 0; w < geom_.ways; ++w) {
-    if (e[w].valid && e[w].tag == tag) return e[w].dirty;
-  }
-  return false;
 }
 
 void TagArray::for_each_valid_in_set(
     std::uint64_t set, const std::function<void(LineAddr)>& fn) const {
   const Entry* e = set_begin(set);
   for (std::uint32_t w = 0; w < geom_.ways; ++w) {
-    if (e[w].valid) fn(line_of(set, e[w].tag));
+    if (e[w] & kValidBit) fn(line_of(set, tag_of_entry(e[w])));
   }
 }
 
@@ -122,7 +42,7 @@ void TagArray::for_each_valid(const std::function<void(LineAddr)>& fn) const {
 std::uint64_t TagArray::valid_count_in_set(std::uint64_t set) const {
   const Entry* e = set_begin(set);
   std::uint64_t n = 0;
-  for (std::uint32_t w = 0; w < geom_.ways; ++w) n += e[w].valid ? 1 : 0;
+  for (std::uint32_t w = 0; w < geom_.ways; ++w) n += e[w] & kValidBit;
   return n;
 }
 

@@ -12,6 +12,10 @@
 #include <optional>
 #include <vector>
 
+#if defined(__AVX512F__)
+#include <immintrin.h>
+#endif
+
 #include "cache/geometry.h"
 #include "common/types.h"
 
@@ -28,6 +32,7 @@ class TagArray {
 
   struct FillResult {
     bool evicted = false;
+    std::uint32_t way = 0;               // way the new line landed in
     LineAddr victim = 0;
     bool victim_was_prefetched = false;  // victim evicted with mark intact
                                          // (i.e. a useless prefetch)
@@ -37,6 +42,12 @@ class TagArray {
   // `seed` only matters for ReplacementKind::kRandom.
   explicit TagArray(const CacheGeometry& geom, std::uint64_t seed = 0);
 
+  // The per-access methods below are defined inline (bottom of this header):
+  // they are the simulator's hottest instructions — every simulated
+  // reference runs several of them — and out-of-line calls plus the virtual
+  // replacement-policy dispatch cost more than the tag match itself.  LRU
+  // (the paper machine's policy) is dispatched non-virtually.
+
   // Probe for `line`; on a hit, promotes it in the replacement order and
   // consumes its prefetched mark.  `is_write` marks the line dirty.
   LookupResult lookup(LineAddr line, bool is_write = false);
@@ -45,12 +56,26 @@ class TagArray {
   // invariant checks).
   bool contains(LineAddr line) const;
 
+  // Way index of the resident copy of `line` (no state change); false if
+  // absent.  Lets the simulator keep per-slot sideband state (the LLC
+  // core-presence directory) without widening the packed entries.
+  bool find_way(LineAddr line, std::uint32_t* way) const;
+
   // Insert `line`; evicts a victim if the set is full.  `prefetched` marks
   // lines installed by the prefetcher rather than a demand access; `dirty`
   // installs the line already modified (write-allocate of a write miss, or
   // a dirty victim cascading down an exclusive hierarchy).
   // Pre-condition: the line is not already present (checked in debug).
   FillResult fill(LineAddr line, bool prefetched = false, bool dirty = false);
+
+  // Fused `contains` + `fill` in a single set scan (the simulator's fill
+  // paths previously did both walks back to back).  If the line is already
+  // present: optionally dirties it (mark_dirty semantics — no replacement
+  // promotion, no prefetched mark) and returns false.  Otherwise fills
+  // exactly like fill() and returns true with the eviction outcome in
+  // `*out`.
+  bool fill_if_absent(LineAddr line, bool prefetched, bool dirty,
+                      FillResult* out);
 
   // Remove `line` if present; returns true when it was.  `was_dirty`, if
   // non-null, reports whether the removed copy needed a writeback.
@@ -80,12 +105,65 @@ class TagArray {
   bool mark_dirty(LineAddr line);
 
  private:
-  struct Entry {
-    std::uint64_t tag = 0;
-    bool valid = false;
-    bool prefetched = false;
-    bool dirty = false;
-  };
+  // One way, packed into a single word: bit 0 valid, bit 1 prefetched,
+  // bit 2 dirty, bits 3..59 the tag, bits 60..63 the line's LRU rank (only
+  // used when the policy is LRU with <= 16 ways — see `embedded_lru_`).  A
+  // tag fits 57 bits: with >= 64B lines that covers byte addresses past
+  // 2^63, so the shift never overflows in practice.  Packing matters: the
+  // simulated LLC's tag array is megabytes and every probe scans a full
+  // set, so keeping tag, flags, and replacement state in one word means a
+  // probe-plus-promote touches a single host cache line instead of two
+  // random ones (entries + a separate rank array).
+  using Entry = std::uint64_t;
+  static constexpr Entry kValidBit = 1;
+  static constexpr Entry kPrefetchedBit = 2;
+  static constexpr Entry kDirtyBit = 4;
+  static constexpr std::uint32_t kRankShift = 60;
+  static constexpr Entry kRankMask = Entry{0xF} << kRankShift;
+  static constexpr Entry kRankInc = Entry{1} << kRankShift;
+  // Clearing the don't-care bits (flags + rank) leaves `(tag << 3) | valid`
+  // — one mask + compare decides "valid match" for the whole entry.  For
+  // policies that keep their state outside the entry the rank nibble is
+  // always zero, so the same mask is correct everywhere.
+  static constexpr Entry kMatchMask =
+      ~(kPrefetchedBit | kDirtyBit | kRankMask);
+
+  static constexpr std::uint32_t kNoWay = ~0u;
+
+  // Way index of the valid resident copy whose masked entry equals `want`,
+  // or kNoWay.  Tags are unique within a set (fills check absence first),
+  // so any-match == first-match and the vector path is free to report the
+  // lowest set lane.  With AVX-512 a whole 8-way set is one masked load +
+  // compare; hosts without it (or non-native builds) keep the scalar loop —
+  // both produce the identical way index.
+  std::uint32_t match_way(const Entry* e, Entry want) const {
+#if defined(__AVX512F__)
+    const __m512i vmask = _mm512_set1_epi64(static_cast<long long>(kMatchMask));
+    const __m512i vwant = _mm512_set1_epi64(static_cast<long long>(want));
+    for (std::uint32_t base = 0; base < geom_.ways; base += 8) {
+      const std::uint32_t n = geom_.ways - base;
+      const __mmask8 lanes =
+          n >= 8 ? static_cast<__mmask8>(0xFF)
+                 : static_cast<__mmask8>((1u << n) - 1);
+      const __m512i v = _mm512_maskz_loadu_epi64(lanes, e + base);
+      const __mmask8 m = _mm512_mask_cmpeq_epi64_mask(
+          lanes, _mm512_and_si512(v, vmask), vwant);
+      if (m != 0) return base + static_cast<std::uint32_t>(__builtin_ctz(m));
+    }
+    return kNoWay;
+#else
+    for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+      if ((e[w] & kMatchMask) == want) return w;
+    }
+    return kNoWay;
+#endif
+  }
+
+  static Entry pack(std::uint64_t tag, bool prefetched, bool dirty) {
+    return (tag << 3) | (prefetched ? kPrefetchedBit : 0) |
+           (dirty ? kDirtyBit : 0) | kValidBit;
+  }
+  static std::uint64_t tag_of_entry(Entry e) { return (e & kMatchMask) >> 3; }
 
   std::uint64_t tag_of(LineAddr line) const { return line >> set_bits_; }
   LineAddr line_of(std::uint64_t set, std::uint64_t tag) const {
@@ -96,6 +174,97 @@ class TagArray {
     return &entries_[set * geom_.ways];
   }
 
+  // Entry-embedded LRU: ranks live in the top nibble of the entries the
+  // caller has already loaded.  Behaviour is exactly LruPolicy's
+  // touch_inline/victim_inline (same promotions, same first-max tie-break,
+  // same way-index initial ranks); only the storage moved.
+  void touch_embedded(Entry* e, std::uint32_t way) {
+    const Entry old = e[way] & kRankMask;
+    if (old == 0) return;
+#if defined(__AVX512F__)
+    // Branchless promote: increment every rank below `old` in one masked
+    // add per 8 ways.  Same additions as the scalar loop, so the rank
+    // permutation evolves identically.
+    const __m512i vrank = _mm512_set1_epi64(static_cast<long long>(kRankMask));
+    const __m512i vold = _mm512_set1_epi64(static_cast<long long>(old));
+    const __m512i vinc = _mm512_set1_epi64(static_cast<long long>(kRankInc));
+    for (std::uint32_t base = 0; base < geom_.ways; base += 8) {
+      const std::uint32_t n = geom_.ways - base;
+      const __mmask8 lanes =
+          n >= 8 ? static_cast<__mmask8>(0xFF)
+                 : static_cast<__mmask8>((1u << n) - 1);
+      const __m512i v = _mm512_maskz_loadu_epi64(lanes, e + base);
+      const __mmask8 lt = _mm512_mask_cmplt_epu64_mask(
+          lanes, _mm512_and_si512(v, vrank), vold);
+      _mm512_mask_storeu_epi64(e + base, lt,
+                               _mm512_add_epi64(v, vinc));
+    }
+#else
+    for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+      if ((e[w] & kRankMask) < old) e[w] += kRankInc;
+    }
+#endif
+    e[way] &= ~kRankMask;
+  }
+  std::uint32_t victim_embedded(const Entry* e) const {
+#if defined(__AVX512F__)
+    // The ranks of a set are a permutation of 0..ways-1 (initialized that
+    // way; touch_embedded preserves it, invalidate keeps the nibble), so
+    // the maximum rank is unique and the compare-equal mask has exactly
+    // one lane — no tie-break needed to match the scalar first-max.
+    const __m512i vrank = _mm512_set1_epi64(static_cast<long long>(kRankMask));
+    Entry best_r = 0;
+    std::uint32_t best_w = 0;
+    for (std::uint32_t base = 0; base < geom_.ways; base += 8) {
+      const std::uint32_t n = geom_.ways - base;
+      const __mmask8 lanes =
+          n >= 8 ? static_cast<__mmask8>(0xFF)
+                 : static_cast<__mmask8>((1u << n) - 1);
+      const __m512i r = _mm512_and_si512(
+          _mm512_maskz_loadu_epi64(lanes, e + base), vrank);
+      const Entry block_max = _mm512_reduce_max_epu64(r);
+      if (base == 0 || block_max > best_r) {
+        best_r = block_max;
+        best_w = base + static_cast<std::uint32_t>(__builtin_ctz(
+                            _mm512_cmpeq_epu64_mask(
+                                r, _mm512_set1_epi64(
+                                       static_cast<long long>(block_max)))));
+      }
+    }
+    return best_w;
+#else
+    std::uint32_t worst = 0;
+    Entry worst_r = e[0] & kRankMask;
+    for (std::uint32_t w = 1; w < geom_.ways; ++w) {
+      const Entry r = e[w] & kRankMask;
+      if (r > worst_r) {
+        worst = w;
+        worst_r = r;
+      }
+    }
+    return worst;
+#endif
+  }
+
+  // Promote (set, way) in the replacement order.  The paper machine is LRU
+  // at every level, so the embedded-rank path is the common case; wide-LRU
+  // (> 16 ways) still uses LruPolicy's side array non-virtually, everything
+  // else pays the virtual dispatch.
+  void repl_touch(Entry* e, std::uint64_t set, std::uint32_t way) {
+    if (embedded_lru_) {
+      touch_embedded(e, way);
+    } else if (lru_ != nullptr) {
+      lru_->touch_inline(set, way);
+    } else {
+      repl_->touch(set, way);
+    }
+  }
+  std::uint32_t repl_victim(const Entry* e, std::uint64_t set) {
+    if (embedded_lru_) return victim_embedded(e);
+    if (lru_ != nullptr) return lru_->victim_inline(set);
+    return repl_->victim(set);
+  }
+
   CacheGeometry geom_;
   std::uint64_t sets_;
   std::uint32_t set_bits_;
@@ -103,7 +272,212 @@ class TagArray {
   std::uint64_t bank_mask_;
   std::vector<Entry> entries_;
   std::unique_ptr<ReplacementPolicy> repl_;
+  LruPolicy* lru_ = nullptr;  // repl_ downcast when the policy is LRU
+  bool embedded_lru_ = false;  // LRU with <= 16 ways: ranks in the entries
   std::uint64_t valid_count_ = 0;
 };
+
+// --------------------------------------------------------------------------
+// Inline hot path.  Identical behaviour to the original out-of-line
+// definitions — only the call overhead and the entry padding are gone.
+// --------------------------------------------------------------------------
+
+inline TagArray::LookupResult TagArray::lookup(LineAddr line, bool is_write) {
+  const std::uint64_t set = set_of(line);
+  const Entry want = (tag_of(line) << 3) | kValidBit;
+  Entry* e = set_begin(set);
+  const std::uint32_t w = match_way(e, want);
+  if (w == kNoWay) return {};
+  LookupResult r{true, w, (e[w] & kPrefetchedBit) != 0};
+  e[w] &= ~kPrefetchedBit;
+  if (is_write) e[w] |= kDirtyBit;
+  repl_touch(e, set, w);
+  return r;
+}
+
+inline bool TagArray::contains(LineAddr line) const {
+  const Entry want = (tag_of(line) << 3) | kValidBit;
+  return match_way(set_begin(set_of(line)), want) != kNoWay;
+}
+
+inline bool TagArray::find_way(LineAddr line, std::uint32_t* way) const {
+  const Entry want = (tag_of(line) << 3) | kValidBit;
+  const std::uint32_t w = match_way(set_begin(set_of(line)), want);
+  if (w == kNoWay) return false;
+  *way = w;
+  return true;
+}
+
+inline TagArray::FillResult TagArray::fill(LineAddr line, bool prefetched,
+                                           bool dirty) {
+  REDHIP_DCHECK(!contains(line));
+  const std::uint64_t set = set_of(line);
+  const std::uint64_t tag = tag_of(line);
+  Entry* e = set_begin(set);
+  // Prefer an invalid way.  Overwrites keep the rank nibble — replacement
+  // state belongs to the way, not to the line occupying it.
+  for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+    if ((e[w] & kValidBit) == 0) {
+      e[w] = (e[w] & kRankMask) | pack(tag, prefetched, dirty);
+      repl_touch(e, set, w);
+      ++valid_count_;
+      FillResult r;
+      r.way = w;
+      return r;
+    }
+  }
+  const std::uint32_t w = repl_victim(e, set);
+  FillResult r;
+  r.evicted = true;
+  r.way = w;
+  r.victim = line_of(set, tag_of_entry(e[w]));
+  r.victim_was_prefetched = (e[w] & kPrefetchedBit) != 0;
+  r.victim_was_dirty = (e[w] & kDirtyBit) != 0;
+  e[w] = (e[w] & kRankMask) | pack(tag, prefetched, dirty);
+  repl_touch(e, set, w);
+  return r;
+}
+
+inline bool TagArray::fill_if_absent(LineAddr line, bool prefetched,
+                                     bool dirty, FillResult* out) {
+  const std::uint64_t set = set_of(line);
+  const std::uint64_t tag = tag_of(line);
+  const Entry want = (tag << 3) | kValidBit;
+  Entry* e = set_begin(set);
+  std::uint32_t invalid_way = kNoWay;
+  if (embedded_lru_) {
+#if defined(__AVX512F__)
+    // Vector sweep: match and invalid-way lane masks for the whole set in
+    // one or two loads; the victim pick (only needed when every way is
+    // valid and none match) falls back to victim_embedded over the
+    // now-cached entries.  Lane order == way order, so ctz reproduces the
+    // scalar loop's first-invalid-way choice exactly.
+    std::uint32_t match_bits = 0;
+    std::uint32_t invalid_bits = 0;
+    const __m512i vmask = _mm512_set1_epi64(static_cast<long long>(kMatchMask));
+    const __m512i vwant = _mm512_set1_epi64(static_cast<long long>(want));
+    const __m512i vvalid =
+        _mm512_set1_epi64(static_cast<long long>(kValidBit));
+    for (std::uint32_t base = 0; base < geom_.ways; base += 8) {
+      const std::uint32_t n = geom_.ways - base;
+      const __mmask8 lanes =
+          n >= 8 ? static_cast<__mmask8>(0xFF)
+                 : static_cast<__mmask8>((1u << n) - 1);
+      const __m512i v = _mm512_maskz_loadu_epi64(lanes, e + base);
+      match_bits |= static_cast<std::uint32_t>(_mm512_mask_cmpeq_epi64_mask(
+                        lanes, _mm512_and_si512(v, vmask), vwant))
+                    << base;
+      invalid_bits |= static_cast<std::uint32_t>(
+                          _mm512_mask_testn_epi64_mask(lanes, v, vvalid))
+                      << base;
+    }
+    if (match_bits != 0) {
+      // Already present: receiving a duplicate fill is not a use, so the
+      // replacement order is untouched (mark_dirty semantics).
+      if (dirty) e[__builtin_ctz(match_bits)] |= kDirtyBit;
+      return false;
+    }
+    if (invalid_bits != 0) invalid_way = __builtin_ctz(invalid_bits);
+    const std::uint32_t worst =
+        invalid_way == kNoWay ? victim_embedded(e) : 0;
+#else
+    // Single sweep: the resident match, the first invalid way, and the LRU
+    // victim candidate all fall out of one pass over the set.  The victim
+    // tracking replicates victim_embedded exactly (w == 0 seeds, then
+    // strictly-greater updates), so a full set picks the same way.
+    std::uint32_t worst = 0;
+    Entry worst_r = 0;
+    for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+      const Entry ew = e[w];
+      if ((ew & kMatchMask) == want) {
+        // Already present: receiving a duplicate fill is not a use, so the
+        // replacement order is untouched (mark_dirty semantics).
+        if (dirty) e[w] |= kDirtyBit;
+        return false;
+      }
+      if ((ew & kValidBit) == 0 && invalid_way == kNoWay) invalid_way = w;
+      const Entry r = ew & kRankMask;
+      if (w == 0 || r > worst_r) {
+        worst = w;
+        worst_r = r;
+      }
+    }
+#endif
+    std::uint32_t w;
+    if (invalid_way != kNoWay) {
+      w = invalid_way;
+      ++valid_count_;
+      *out = {};
+      out->way = w;
+    } else {
+      w = worst;
+      out->evicted = true;
+      out->way = w;
+      out->victim = line_of(set, tag_of_entry(e[w]));
+      out->victim_was_prefetched = (e[w] & kPrefetchedBit) != 0;
+      out->victim_was_dirty = (e[w] & kDirtyBit) != 0;
+    }
+    e[w] = (e[w] & kRankMask) | pack(tag, prefetched, dirty);
+    touch_embedded(e, w);
+    return true;
+  }
+  // One scan finds both the resident copy (if any) and the first invalid
+  // way.  Identical outcomes to `contains` + `mark_dirty`/`fill` — only the
+  // second walk over the set is gone.
+  for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+    if ((e[w] & kMatchMask) == want) {
+      if (dirty) e[w] |= kDirtyBit;
+      return false;
+    }
+    if (invalid_way == kNoWay && (e[w] & kValidBit) == 0) invalid_way = w;
+  }
+  if (invalid_way != kNoWay) {
+    e[invalid_way] = (e[invalid_way] & kRankMask) | pack(tag, prefetched, dirty);
+    repl_touch(e, set, invalid_way);
+    ++valid_count_;
+    *out = {};
+    out->way = invalid_way;
+    return true;
+  }
+  const std::uint32_t w = repl_victim(e, set);
+  out->evicted = true;
+  out->way = w;
+  out->victim = line_of(set, tag_of_entry(e[w]));
+  out->victim_was_prefetched = (e[w] & kPrefetchedBit) != 0;
+  out->victim_was_dirty = (e[w] & kDirtyBit) != 0;
+  e[w] = (e[w] & kRankMask) | pack(tag, prefetched, dirty);
+  repl_touch(e, set, w);
+  return true;
+}
+
+inline bool TagArray::invalidate(LineAddr line, bool* was_dirty) {
+  const std::uint64_t set = set_of(line);
+  const Entry want = (tag_of(line) << 3) | kValidBit;
+  Entry* e = set_begin(set);
+  const std::uint32_t w = match_way(e, want);
+  if (w == kNoWay) return false;
+  if (was_dirty != nullptr) *was_dirty = (e[w] & kDirtyBit) != 0;
+  // Clear everything but the rank nibble: LruPolicy never learns about
+  // invalidations either, so the way keeps its place in the LRU order.
+  e[w] &= kRankMask;
+  --valid_count_;
+  return true;
+}
+
+inline bool TagArray::mark_dirty(LineAddr line) {
+  const Entry want = (tag_of(line) << 3) | kValidBit;
+  Entry* e = set_begin(set_of(line));
+  const std::uint32_t w = match_way(e, want);
+  if (w == kNoWay) return false;
+  e[w] |= kDirtyBit;
+  return true;
+}
+
+inline bool TagArray::is_dirty(LineAddr line) const {
+  const Entry want = (tag_of(line) << 3) | kValidBit;
+  const Entry* e = set_begin(set_of(line));
+  const std::uint32_t w = match_way(e, want);
+  return w != kNoWay && (e[w] & kDirtyBit) != 0;
+}
 
 }  // namespace redhip

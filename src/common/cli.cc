@@ -55,6 +55,13 @@ std::int64_t CliOptions::get_int(const std::string& name,
   return std::stoll(v);
 }
 
+std::uint64_t CliOptions::get_uint64(const std::string& name,
+                                     std::uint64_t def) const {
+  std::string v = get(name, "");
+  if (v.empty()) return def;
+  return std::stoull(v);
+}
+
 double CliOptions::get_double(const std::string& name, double def) const {
   std::string v = get(name, "");
   if (v.empty()) return def;

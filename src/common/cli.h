@@ -18,6 +18,9 @@ class CliOptions {
   // `env_prefix + UPPERCASE(name)`, then the supplied default.
   std::string get(const std::string& name, const std::string& def) const;
   std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  // Full-range unsigned 64-bit parse: values up to 2^64-1 (seeds are u64;
+  // std::stoll would throw on anything above 2^63-1).
+  std::uint64_t get_uint64(const std::string& name, std::uint64_t def) const;
   double get_double(const std::string& name, double def) const;
   bool get_bool(const std::string& name, bool def) const;
   bool has(const std::string& name) const;

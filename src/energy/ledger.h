@@ -32,6 +32,7 @@ struct LevelEvents {
   std::uint64_t skipped = 0;  // lookups avoided by a predictor bypass
 
   LevelEvents& operator+=(const LevelEvents& o);
+  bool operator==(const LevelEvents&) const = default;
 };
 
 // Events at a prediction structure (ReDHiP PT or CBF).
@@ -49,6 +50,7 @@ struct PredictorEvents {
   std::uint64_t true_positives = 0;   // predicted present, LLC hit
 
   PredictorEvents& operator+=(const PredictorEvents& o);
+  bool operator==(const PredictorEvents&) const = default;
 };
 
 struct PrefetchEvents {
@@ -59,6 +61,7 @@ struct PrefetchEvents {
   std::uint64_t redundant = 0;    // prefetch target already cached
 
   PrefetchEvents& operator+=(const PrefetchEvents& o);
+  bool operator==(const PrefetchEvents&) const = default;
 };
 
 // A priced breakdown, all in joules.
@@ -72,6 +75,7 @@ struct EnergyBreakdown {
 
   double dynamic_total_j() const;
   double total_j() const { return dynamic_total_j() + leakage_j; }
+  bool operator==(const EnergyBreakdown&) const = default;
 };
 
 class EnergyLedger {

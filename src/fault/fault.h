@@ -77,6 +77,7 @@ struct FaultStats {
     return pt_bits_cleared + pt_bits_set + recal_chunks_dropped +
            trace_refs_perturbed;
   }
+  bool operator==(const FaultStats&) const = default;
 };
 
 // Thrown by the invariant auditor under RecoveryPolicy::kAbortRetry.

@@ -1,5 +1,9 @@
 #include "harness/experiment.h"
 
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+
 #include "common/check.h"
 #include "harness/thread_pool.h"
 
@@ -8,11 +12,14 @@ namespace redhip {
 ExperimentOptions ExperimentOptions::parse(const CliOptions& cli) {
   ExperimentOptions o;
   o.scale = static_cast<std::uint32_t>(cli.get_int("scale", 8));
-  o.refs_per_core =
-      static_cast<std::uint64_t>(cli.get_int("refs", 1'000'000));
-  o.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  o.refs_per_core = cli.get_uint64("refs", 1'000'000);
+  o.seed = cli.get_uint64("seed", 42);
   o.csv = cli.get_bool("csv", false);
   o.jobs = static_cast<std::size_t>(cli.get_int("jobs", 0));
+  const std::string engine = cli.get("engine", "fast");
+  REDHIP_CHECK_MSG(engine == "fast" || engine == "reference",
+                   "unknown engine: " + engine);
+  o.engine = engine == "fast" ? SimEngine::kFast : SimEngine::kReference;
   const std::string bench = cli.get("bench", "");
   if (bench.empty()) {
     o.benches = all_benchmarks();
@@ -25,45 +32,98 @@ ExperimentOptions ExperimentOptions::parse(const CliOptions& cli) {
   return o;
 }
 
+double estimated_run_cost(BenchmarkId bench, const SchemeColumn& column) {
+  // Working-set size is the dominant wall-time predictor: big footprints
+  // miss deeper and walk more tag arrays per reference.  kMix runs one SPEC
+  // profile per core, so charge it the mean SPEC footprint.
+  double ws = 0.0;
+  if (bench == BenchmarkId::kMix) {
+    for (BenchmarkId id : spec_benchmarks()) {
+      ws += static_cast<double>(traits_of(id).ws_bytes);
+    }
+    ws /= static_cast<double>(spec_benchmarks().size());
+  } else {
+    ws = static_cast<double>(traits_of(bench).ws_bytes);
+  }
+  double cost = ws;
+  // Predictor schemes pay lookup/update work on every LLC-bound access.
+  if (column.scheme != Scheme::kBase) cost *= 1.3;
+  // The stride prefetcher adds issue + extra hierarchy traffic.
+  if (column.prefetch) cost *= 1.15;
+  return cost;
+}
+
 std::vector<std::vector<SimResult>> run_matrix(
-    const ExperimentOptions& opts, const std::vector<SchemeColumn>& columns) {
+    const ExperimentOptions& opts, const std::vector<SchemeColumn>& columns,
+    MatrixStats* stats) {
+  const auto start = std::chrono::steady_clock::now();
   std::vector<std::vector<SimResult>> results(
       opts.benches.size(), std::vector<SimResult>(columns.size()));
-  std::vector<std::function<void()>> tasks;
+  // Longest-job-first: order the (bench, column) pairs by estimated cost so
+  // the pool never finishes its queue with one slow straggler running
+  // alone.  results[b][c] indexing is unaffected — only submission order
+  // changes, and every run is independent.
+  std::vector<std::pair<std::size_t, std::size_t>> cells;
   for (std::size_t b = 0; b < opts.benches.size(); ++b) {
-    for (std::size_t c = 0; c < columns.size(); ++c) {
-      tasks.push_back([&, b, c] {
-        RunSpec spec;
-        spec.bench = opts.benches[b];
-        spec.scheme = columns[c].scheme;
-        spec.inclusion = columns[c].inclusion;
-        spec.prefetch = columns[c].prefetch;
-        spec.scale = opts.scale;
-        spec.refs_per_core = opts.refs_per_core;
-        spec.seed = opts.seed;
-        // A run aborted by the invariant auditor under a *transient*
-        // injected fault (RecoveryPolicy::kAbortRetry) is retried a bounded
-        // number of times with a reseeded fault stream — the simulated
-        // workload stays bit-identical, only the fault sequence moves.
-        // Deterministic (non-transient) faults and every other exception
-        // propagate to the thread pool, which rethrows after the drain.
-        for (std::uint32_t attempt = 0;; ++attempt) {
-          const auto base_tweak = columns[c].tweak;
-          spec.tweak = [&base_tweak, attempt](HierarchyConfig& hc) {
-            if (base_tweak) base_tweak(hc);
-            if (attempt > 0) hc.fault.seed += attempt * 0x9e3779b9ull;
-          };
-          try {
-            results[b][c] = run_spec(spec);
-            break;
-          } catch (const TransientFaultError&) {
-            if (attempt + 1 >= kMaxTransientAttempts) throw;
-          }
+    for (std::size_t c = 0; c < columns.size(); ++c) cells.emplace_back(b, c);
+  }
+  std::stable_sort(cells.begin(), cells.end(),
+                   [&](const auto& x, const auto& y) {
+                     return estimated_run_cost(opts.benches[x.first],
+                                               columns[x.second]) >
+                            estimated_run_cost(opts.benches[y.first],
+                                               columns[y.second]);
+                   });
+  std::vector<std::function<void()>> tasks;
+  for (const auto& cell : cells) {
+    const std::size_t b = cell.first;
+    const std::size_t c = cell.second;
+    tasks.push_back([&, b, c] {
+      RunSpec spec;
+      spec.bench = opts.benches[b];
+      spec.scheme = columns[c].scheme;
+      spec.inclusion = columns[c].inclusion;
+      spec.prefetch = columns[c].prefetch;
+      spec.scale = opts.scale;
+      spec.refs_per_core = opts.refs_per_core;
+      spec.seed = opts.seed;
+      spec.engine = opts.engine;
+      // A run aborted by the invariant auditor under a *transient*
+      // injected fault (RecoveryPolicy::kAbortRetry) is retried a bounded
+      // number of times with a reseeded fault stream — the simulated
+      // workload stays bit-identical, only the fault sequence moves.
+      // Deterministic (non-transient) faults and every other exception
+      // propagate to the thread pool, which rethrows after the drain.
+      for (std::uint32_t attempt = 0;; ++attempt) {
+        const auto base_tweak = columns[c].tweak;
+        spec.tweak = [&base_tweak, attempt](HierarchyConfig& hc) {
+          if (base_tweak) base_tweak(hc);
+          if (attempt > 0) hc.fault.seed += attempt * 0x9e3779b9ull;
+        };
+        try {
+          results[b][c] = run_spec(spec);
+          break;
+        } catch (const TransientFaultError&) {
+          if (attempt + 1 >= kMaxTransientAttempts) throw;
         }
-      });
-    }
+      }
+    });
   }
   ThreadPool::run_all(std::move(tasks), opts.jobs);
+  if (stats != nullptr) {
+    stats->wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    stats->total_refs = 0;
+    for (const auto& row : results) {
+      for (const SimResult& r : row) stats->total_refs += r.total_refs;
+    }
+    stats->mrefs_per_s =
+        stats->wall_seconds > 0.0
+            ? static_cast<double>(stats->total_refs) / stats->wall_seconds /
+                  1e6
+            : 0.0;
+  }
   return results;
 }
 

@@ -18,11 +18,14 @@ struct ExperimentOptions {
   std::uint64_t seed = 42;
   bool csv = false;
   std::size_t jobs = 0;  // 0 = hardware concurrency
+  SimEngine engine = SimEngine::kFast;
   std::vector<BenchmarkId> benches;
 
-  // Parses --scale/--refs/--seed/--csv/--jobs/--bench (or the
+  // Parses --scale/--refs/--seed/--csv/--jobs/--bench/--engine (or the
   // REDHIP_BENCH_* environment equivalents).  --bench limits the workload
-  // list to one named benchmark.
+  // list to one named benchmark; --engine=reference selects the oracle run
+  // loop.  refs and seed are parsed with full 64-bit range (a seed is an
+  // arbitrary u64, and ref counts past 2^31 are legitimate).
   static ExperimentOptions parse(const CliOptions& cli);
 };
 
@@ -40,12 +43,28 @@ struct SchemeColumn {
   std::function<void(HierarchyConfig&)> tweak;
 };
 
+// Relative wall-time estimate for one (benchmark, column) run.  Only the
+// *ordering* matters — it drives longest-job-first submission in
+// run_matrix so a heavyweight run doesn't start last and leave the pool
+// idle at the tail.  Correctness never depends on it.
+double estimated_run_cost(BenchmarkId bench, const SchemeColumn& column);
+
+// Aggregate host-side timing for one run_matrix call.
+struct MatrixStats {
+  double wall_seconds = 0.0;      // end-to-end, submission to drain
+  std::uint64_t total_refs = 0;   // sum of SimResult::total_refs
+  double mrefs_per_s = 0.0;       // total_refs / wall_seconds / 1e6
+};
+
 // Run every (benchmark, column) pair; result[b][c] corresponds to
 // opts.benches[b] under columns[c].  Runs execute concurrently on a thread
-// pool; each individual run is single-threaded and deterministic, so the
-// matrix is reproducible regardless of the pool size.
+// pool, submitted longest-estimated-job first; each individual run is
+// single-threaded and deterministic, so the matrix is reproducible
+// regardless of pool size or submission order.  If `stats` is non-null it
+// receives the matrix wall time and aggregate simulation throughput.
 std::vector<std::vector<SimResult>> run_matrix(
-    const ExperimentOptions& opts, const std::vector<SchemeColumn>& columns);
+    const ExperimentOptions& opts, const std::vector<SchemeColumn>& columns,
+    MatrixStats* stats = nullptr);
 
 // Arithmetic mean (the paper's "average" bars).
 double mean(const std::vector<double>& v);

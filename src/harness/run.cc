@@ -1,10 +1,13 @@
 #include "harness/run.h"
 
+#include <chrono>
+
 #include "common/check.h"
 
 namespace redhip {
 
 SimResult run_spec(const RunSpec& spec) {
+  const auto start = std::chrono::steady_clock::now();
   HierarchyConfig config =
       HierarchyConfig::scaled(spec.scale, spec.scheme, spec.inclusion);
   config.prefetch = spec.prefetch;
@@ -18,7 +21,17 @@ SimResult run_spec(const RunSpec& spec) {
     cpis.push_back(workload_cpi_centi(spec.bench, c));
   }
   MulticoreSimulator sim(config, std::move(traces), std::move(cpis));
-  return sim.run(spec.refs_per_core);
+  SimResult r = spec.engine == SimEngine::kFast
+                    ? sim.run(spec.refs_per_core)
+                    : sim.run_reference(spec.refs_per_core);
+  r.host_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  r.host_mrefs_per_s = r.host_seconds > 0.0
+                           ? static_cast<double>(r.total_refs) /
+                                 r.host_seconds / 1e6
+                           : 0.0;
+  return r;
 }
 
 Comparison compare(const SimResult& base, const SimResult& x) {

@@ -13,6 +13,13 @@
 
 namespace redhip {
 
+// Which run loop executes the simulation.  kFast is the production engine
+// (batched traces, specialized loops, heap scheduler); kReference is the
+// original engine kept as the bit-identical oracle — both produce the same
+// statistics (see tests/engine_equivalence_test), kReference just exists to
+// prove it and to anchor bench_speed.
+enum class SimEngine : std::uint8_t { kFast, kReference };
+
 struct RunSpec {
   BenchmarkId bench = BenchmarkId::kBwaves;
   Scheme scheme = Scheme::kBase;
@@ -21,10 +28,13 @@ struct RunSpec {
   std::uint64_t refs_per_core = 1'000'000;
   bool prefetch = false;
   std::uint64_t seed = 42;
+  SimEngine engine = SimEngine::kFast;
   std::function<void(HierarchyConfig&)> tweak;
 };
 
-// Build the machine and the per-core traces for `spec` and run it.
+// Build the machine and the per-core traces for `spec` and run it.  Fills
+// SimResult::host_seconds / host_mrefs_per_s with the wall time of the
+// whole run (trace + simulator construction + simulation).
 SimResult run_spec(const RunSpec& spec);
 
 // Derived paper metrics of scheme X against the Base run of the same

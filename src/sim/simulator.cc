@@ -21,16 +21,25 @@ MulticoreSimulator::MulticoreSimulator(
 
   SplitMix64 seeder(config_.seed);
   const std::uint32_t n = config_.num_levels();
-  private_.resize(n - 1);
+  private_.reserve((n - 1) * config_.cores);
   for (std::uint32_t lvl = 0; lvl + 1 < n; ++lvl) {
-    private_[lvl].reserve(config_.cores);
     for (CoreId c = 0; c < config_.cores; ++c) {
-      private_[lvl].emplace_back(config_.levels[lvl].geom, seeder.next());
+      private_.emplace_back(config_.levels[lvl].geom, seeder.next());
     }
   }
   shared_ = std::make_unique<TagArray>(config_.levels[n - 1].geom,
                                        seeder.next());
   events_.resize(n);
+  top_private_ = n - 2;
+  llc_dir_on_ =
+      config_.inclusion == InclusionPolicy::kInclusive && config_.cores <= 8;
+  if (llc_dir_on_) {
+    llc_dir_.assign(shared_->sets() * shared_->ways(), 0);
+  }
+  const LevelSpec& l1 = config_.levels[0];
+  l1_shift_ = l1.geom.line_shift();
+  l1_hit_latency_ = l1.phased ? l1.energy.tag_delay + l1.energy.data_delay
+                              : l1.energy.parallel_delay();
 
   // Predictors.
   if (config_.inclusion == InclusionPolicy::kExclusive) {
@@ -41,7 +50,7 @@ MulticoreSimulator::MulticoreSimulator(
             config_.redhip_for_size(config_.levels[lvl].geom.size_bytes);
         for (CoreId c = 0; c < config_.cores; ++c) {
           excl_pred_[lvl].push_back(std::make_unique<RedhipTable>(rc));
-          excl_pred_[lvl].back()->attach_covered(&private_[lvl][c]);
+          excl_pred_[lvl].back()->attach_covered(&private_[lvl * config_.cores + c]);
           predictor_leakage_w_ += rc.energy.leakage_w;
         }
       }
@@ -104,18 +113,23 @@ MulticoreSimulator::MulticoreSimulator(
   }
 
   for (CoreId c = 0; c < config_.cores; ++c) {
-    cores_.push_back(CoreState{std::move(traces[c]),
-                               CpiAccumulator(cpi_centi[c])});
+    CoreState cs;
+    cs.trace = std::move(traces[c]);
+    cs.cpi = CpiAccumulator(cpi_centi[c]);
+    cs.buf.resize(kRefillBatch);
+    cores_.push_back(std::move(cs));
   }
 }
 
 TagArray& MulticoreSimulator::level_array(std::uint32_t level, CoreId core) {
-  return is_shared(level) ? *shared_ : private_[level][core];
+  return is_shared(level) ? *shared_
+                          : private_[level * config_.cores + core];
 }
 
 const TagArray& MulticoreSimulator::level_array(std::uint32_t level,
                                                 CoreId core) const {
-  return is_shared(level) ? *shared_ : private_[level][core];
+  return is_shared(level) ? *shared_
+                          : private_[level * config_.cores + core];
 }
 
 // ----------------------------------------------------------- event recording
@@ -177,12 +191,32 @@ void MulticoreSimulator::note_writeback(std::uint32_t lvl, CoreId core,
 void MulticoreSimulator::fill_at(std::uint32_t lvl, CoreId core, LineAddr line,
                                  bool prefetched, bool dirty) {
   TagArray& arr = level_array(lvl, core);
-  if (arr.contains(line)) {
-    if (dirty) arr.mark_dirty(line);  // a prefetch raced the demand write
-    return;
+  TagArray::FillResult r;
+  // Single set scan: resident copies (a prefetch racing the demand write)
+  // only pick up the dirty bit; absent lines fill, possibly evicting.
+  if (!arr.fill_if_absent(line, prefetched, dirty, &r)) return;
+  // Directory upkeep.  A top-private fill claims the line's LLC slot for
+  // this core (the inclusive fill order guarantees the LLC copy already
+  // exists); an LLC fill recycles the slot, so the victim's mask is
+  // snapshotted and the slot starts clean for the incoming line.
+  std::uint8_t victim_cores = 0;
+  if (llc_dir_on_) {
+    if (lvl == top_private_) {
+      std::uint32_t w = 0;
+      const bool in_llc = shared_->find_way(line, &w);
+      REDHIP_DCHECK(in_llc);
+      if (in_llc) {
+        llc_dir_[shared_->set_of(line) * shared_->ways() + w] |=
+            static_cast<std::uint8_t>(1u << core);
+      }
+    } else if (is_shared(lvl)) {
+      std::uint8_t& slot =
+          llc_dir_[shared_->set_of(line) * shared_->ways() + r.way];
+      victim_cores = slot;
+      slot = 0;
+    }
   }
   LevelEvents& ev = events_[lvl];
-  const TagArray::FillResult r = arr.fill(line, prefetched, dirty);
   ++ev.fills;
   // Eviction is reported before the fill: predictors that mirror the cache
   // exactly (the partial-tag baseline) must see the victim leave before the
@@ -200,8 +234,16 @@ void MulticoreSimulator::fill_at(std::uint32_t lvl, CoreId core, LineAddr line,
   if (r.victim_was_dirty) note_writeback(lvl, core, r.victim);
   if (is_shared(lvl)) {
     // Inclusive LLC (both the inclusive and hybrid policies): the victim
-    // must leave every private cache.
-    back_invalidate_all_cores(lvl, r.victim);
+    // must leave every private cache.  With the directory only the cores
+    // whose mask bit is set can hold a copy — the walk for everyone else
+    // would provably find nothing, so skipping it changes no statistic.
+    if (llc_dir_on_) {
+      for (CoreId c = 0; victim_cores != 0; ++c, victim_cores >>= 1) {
+        if (victim_cores & 1) back_invalidate_core(lvl, c, r.victim);
+      }
+    } else {
+      back_invalidate_all_cores(lvl, r.victim);
+    }
   } else if (config_.inclusion == InclusionPolicy::kInclusive) {
     // Private levels are inclusive of the levels above them.
     back_invalidate_core(lvl, core, r.victim);
@@ -217,11 +259,39 @@ void MulticoreSimulator::back_invalidate_all_cores(std::uint32_t below_level,
 
 void MulticoreSimulator::back_invalidate_core(std::uint32_t below_level,
                                               CoreId core, LineAddr victim) {
+  // The L1 memo's residency guarantee ends here: this is the only path
+  // that removes an L1 line outside the owning core's own access.
+  if (cores_[core].l1_last_line == victim) {
+    cores_[core].l1_last_line = kNoLine;
+  }
   // Directory-precise: only actual residents are touched, and only
   // successful invalidations are charged (one tag write each).  A dirty
   // upper copy purged by level `below_level`'s eviction writes back to the
   // level below that eviction (which still holds the line) — or to memory
   // when it was the LLC evicting.
+  if (config_.inclusion == InclusionPolicy::kInclusive) {
+    // Inclusion means a line held at level L is held at every level below
+    // L, so the holders form a contiguous run ending at `below_level - 1`.
+    // Walking top-down and stopping at the first non-resident level charges
+    // exactly the same invalidations as the full walk, and turns the common
+    // "no private copies" case into a single set scan.
+    for (std::uint32_t lvl = below_level; lvl-- > 0;) {
+      bool was_dirty = false;
+      if (!level_array(lvl, core).invalidate(victim, &was_dirty)) return;
+      ++events_[lvl].invalidations;
+      if (was_dirty && config_.model_writebacks) {
+        if (below_level + 1 < config_.num_levels()) {
+          ++events_[below_level + 1].writebacks;
+          level_array(below_level + 1, core).mark_dirty(victim);
+        } else {
+          ++memory_writebacks_;
+        }
+      }
+    }
+    return;
+  }
+  // Hybrid / exclusive private chains hold at most one copy of a line, so
+  // the walk can stop after invalidating it.
   for (std::uint32_t lvl = 0; lvl < below_level; ++lvl) {
     bool was_dirty = false;
     if (level_array(lvl, core).invalidate(victim, &was_dirty)) {
@@ -234,6 +304,7 @@ void MulticoreSimulator::back_invalidate_core(std::uint32_t below_level,
           ++memory_writebacks_;
         }
       }
+      return;
     }
   }
 }
@@ -302,7 +373,8 @@ void MulticoreSimulator::note_l1_miss() {
     for (std::uint32_t lvl = 1; lvl + 1 < config_.num_levels(); ++lvl) {
       for (CoreId c = 0; c < config_.cores; ++c) {
         stall = std::max(stall,
-                         excl_pred_[lvl][c]->recalibrate(private_[lvl][c]));
+                         excl_pred_[lvl][c]->recalibrate(
+                             private_[lvl * config_.cores + c]));
       }
     }
     stall = std::max(stall, excl_shared_pred_->recalibrate(*shared_));
@@ -312,7 +384,7 @@ void MulticoreSimulator::note_l1_miss() {
   }
   if (stall == 0) return;
   recal_stall_cycles_ += stall;
-  for (auto& cs : cores_) cs.clock += stall;
+  global_stall_cycles_ += stall;
 }
 
 bool MulticoreSimulator::audit_bypass(LineAddr line) {
@@ -350,7 +422,7 @@ bool MulticoreSimulator::audit_bypass(LineAddr line) {
         ++recovery_recals_;
         recovery_stall_cycles_ += stall;
         recal_stall_cycles_ += stall;
-        for (auto& cs : cores_) cs.clock += stall;
+        global_stall_cycles_ += stall;
       }
       break;
     case RecoveryPolicy::kCountOnly:
@@ -386,7 +458,7 @@ void MulticoreSimulator::evaluate_auto_disable() {
     if (auto* t = dynamic_cast<RedhipTable*>(llc_pred_.get())) {
       const Cycles stall = t->recalibrate(*shared_);
       recal_stall_cycles_ += stall;
-      for (auto& cs : cores_) cs.clock += stall;
+      global_stall_cycles_ += stall;
     }
   } else {
     const std::uint64_t misses = events_[0].misses - epoch_start_misses_;
@@ -415,8 +487,28 @@ void MulticoreSimulator::evaluate_auto_disable() {
 // ------------------------------------------------------------- access paths
 
 Cycles MulticoreSimulator::access(CoreId core, const MemRef& ref) {
-  const LineAddr line = ref.addr >> config_.levels[0].geom.line_shift();
+  const LineAddr line = ref.addr >> l1_shift_;
   const bool is_write = ref.is_write;
+  CoreState& cs = cores_[core];
+  if (line == cs.l1_last_line) {
+    // Same-line L1 hit memo.  The memo line is resident and MRU (every
+    // access path ends with the line hit or filled into L1, and
+    // back_invalidate_core clears the memo when it removes the line), so
+    // this reproduces probe(0) exactly: a guaranteed hit charges one tag
+    // and one data probe under both phased and parallel L1 policies, the
+    // LRU touch is a no-op, and the prefetched bit is known clear because
+    // L1 only ever receives demand fills.
+    LevelEvents& ev = events_[0];
+    ++ev.accesses;
+    ++ev.tag_probes;
+    ++ev.data_probes;
+    ++ev.hits;
+    if (is_write && config_.model_writebacks && !cs.l1_last_dirty) {
+      level_array(0, core).mark_dirty(line);
+      cs.l1_last_dirty = true;
+    }
+    return l1_hit_latency_;
+  }
   Cycles lat;
   switch (config_.inclusion) {
     case InclusionPolicy::kInclusive:
@@ -432,6 +524,10 @@ Cycles MulticoreSimulator::access(CoreId core, const MemRef& ref) {
       lat = 0;
       break;
   }
+  // Every path above leaves `line` in L1; remember it for the next access.
+  // Dirty state is re-derived lazily (a spurious mark_dirty is idempotent).
+  cs.l1_last_line = line;
+  cs.l1_last_dirty = false;
   return lat;
 }
 
@@ -655,7 +751,115 @@ Cycles MulticoreSimulator::access_for_test(CoreId core, const MemRef& ref) {
   return lat;
 }
 
+// Binary min-heap over (clock, core id).  Only sift-down is ever needed:
+// the scheduler exclusively advances the top slot's clock (keys never
+// decrease) or removes the top slot.
+void MulticoreSimulator::heap_sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  while (true) {
+    const std::size_t l = 2 * i + 1;
+    if (l >= n) return;
+    std::size_t m = l;
+    const std::size_t r = l + 1;
+    if (r < n && heap_[r] < heap_[l]) m = r;
+    if (!(heap_[m] < heap_[i])) return;
+    std::swap(heap_[i], heap_[m]);
+    i = m;
+  }
+}
+
+void MulticoreSimulator::heap_pop_top() {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) heap_sift_down(0);
+}
+
+template <bool kFault, bool kPrefetch, bool kAutoDisable>
+void MulticoreSimulator::run_loop(std::uint64_t max_refs_per_core) {
+  heap_.clear();
+  heap_.reserve(cores_.size());
+  if (max_refs_per_core > 0) {
+    // Cores start at clock 0 in id order, which is already a valid heap.
+    for (CoreId c = 0; c < config_.cores; ++c) {
+      heap_.push_back(HeapSlot{cores_[c].clock, c});
+    }
+  }
+
+  while (!heap_.empty()) {
+    const CoreId best = heap_.front().core;
+    CoreState& cs = cores_[best];
+    if (cs.buf_pos == cs.buf_len) {
+      // Refill, capped at what this core still needs so the source never
+      // generates references the run will not consume.
+      const std::size_t want = static_cast<std::size_t>(
+          std::min<std::uint64_t>(kRefillBatch,
+                                  max_refs_per_core - cs.refs_done));
+      cs.buf_len =
+          static_cast<std::uint32_t>(cs.trace->next_batch(cs.buf.data(), want));
+      cs.buf_pos = 0;
+      if (cs.buf_len == 0) {
+        cs.exhausted = true;
+        heap_pop_top();
+        continue;
+      }
+    }
+    MemRef ref = cs.buf[cs.buf_pos++];
+    if constexpr (kFault) {
+      injector_->maybe_perturb(ref);  // FaultSite::kTraceAddr
+      inject_faults();                // PT single-event upsets
+    }
+    cs.clock += cs.cpi.advance(ref.gap);
+    if constexpr (kPrefetch) {
+      const std::uint64_t misses_before = events_[0].misses;
+      cs.clock += access(best, ref);
+      if (events_[0].misses != misses_before) {
+        run_prefetches(best, ref);
+      }
+    } else {
+      cs.clock += access(best, ref);
+    }
+    if constexpr (kAutoDisable) {
+      if (!predictor_active_) ++predictor_disabled_refs_;
+      if (++epoch_refs_seen_ >= config_.auto_disable.epoch_refs) {
+        evaluate_auto_disable();
+      }
+    }
+    if (++cs.refs_done >= max_refs_per_core) {
+      cs.exhausted = true;
+      heap_pop_top();
+    } else {
+      heap_.front().clock = cs.clock;
+      heap_sift_down(0);
+    }
+  }
+}
+
 SimResult MulticoreSimulator::run(std::uint64_t max_refs_per_core) {
+  REDHIP_CHECK_MSG(!ran_, "a simulator instance runs once");
+  ran_ = true;
+
+  // Resolve the feature mask once and dispatch to the run loop compiled for
+  // exactly this configuration; the common paper configurations (all three
+  // off) execute a loop with no injector/prefetcher/auto-disable tests.
+  const bool fault = injector_ != nullptr;
+  const bool prefetch = !prefetchers_.empty();
+  const bool auto_disable = config_.auto_disable.enabled && llc_pred_ != nullptr;
+  const unsigned mask = (fault ? 4u : 0u) | (prefetch ? 2u : 0u) |
+                        (auto_disable ? 1u : 0u);
+  switch (mask) {
+    case 0: run_loop<false, false, false>(max_refs_per_core); break;
+    case 1: run_loop<false, false, true>(max_refs_per_core); break;
+    case 2: run_loop<false, true, false>(max_refs_per_core); break;
+    case 3: run_loop<false, true, true>(max_refs_per_core); break;
+    case 4: run_loop<true, false, false>(max_refs_per_core); break;
+    case 5: run_loop<true, false, true>(max_refs_per_core); break;
+    case 6: run_loop<true, true, false>(max_refs_per_core); break;
+    default: run_loop<true, true, true>(max_refs_per_core); break;
+  }
+  return finalize_result();
+}
+
+SimResult MulticoreSimulator::run_reference(std::uint64_t max_refs_per_core) {
   REDHIP_CHECK_MSG(!ran_, "a simulator instance runs once");
   ran_ = true;
 
@@ -703,7 +907,10 @@ SimResult MulticoreSimulator::run(std::uint64_t max_refs_per_core) {
       --active;
     }
   }
+  return finalize_result();
+}
 
+SimResult MulticoreSimulator::finalize_result() {
   SimResult r;
   r.levels = events_;
   if (llc_pred_) {
@@ -728,9 +935,11 @@ SimResult MulticoreSimulator::run(std::uint64_t max_refs_per_core) {
   r.fault.recovery_recalibrations = recovery_recals_;
   r.fault.recovery_stall_cycles = recovery_stall_cycles_;
   for (const auto& cs : cores_) {
-    r.core_cycles.push_back(cs.clock);
-    r.exec_cycles = std::max(r.exec_cycles, cs.clock);
-    r.total_core_cycles += cs.clock;
+    // Re-apply the uniformly-accumulated stall offset (see CoreState::clock).
+    const Cycles clock = cs.clock + global_stall_cycles_;
+    r.core_cycles.push_back(clock);
+    r.exec_cycles = std::max(r.exec_cycles, clock);
+    r.total_core_cycles += clock;
     r.total_refs += cs.refs_done;
   }
   r.elapsed_seconds =

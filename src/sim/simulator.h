@@ -36,7 +36,21 @@ class MulticoreSimulator {
 
   // Run until every core has executed `max_refs_per_core` references (or its
   // trace ended).  Returns the priced result.  May be called once.
+  //
+  // This is the fast-path engine: per-core batched trace refill, a binary
+  // min-heap core scheduler, and a run loop specialized at compile time on
+  // the (fault x prefetch x auto-disable) feature mask so runs with a
+  // feature off never test for it per reference.  Statistics are
+  // bit-identical to run_reference() — same interleave, same RNG
+  // consumption — locked in by tests/engine_equivalence_test.
   SimResult run(std::uint64_t max_refs_per_core);
+
+  // The original (pre-fast-path) engine, kept verbatim: scalar
+  // TraceSource::next() per reference, O(cores) linear min-clock scan,
+  // every feature branch tested per reference.  Exists as the equivalence
+  // oracle for run() and as the baseline leg of bench_speed; same
+  // run-once restriction (use a fresh instance per engine).
+  SimResult run_reference(std::uint64_t max_refs_per_core);
 
   // --- Single-access hooks used by unit tests --------------------------------
   // Execute one reference on one core and return its latency.
@@ -57,12 +71,40 @@ class MulticoreSimulator {
   const HierarchyConfig& config() const { return config_; }
 
  private:
+  // How many references a core pulls from its TraceSource per refill.  256
+  // refs (4 KiB) amortize the virtual next_batch call and keep the
+  // generator's state hot without displacing the simulated tag arrays from
+  // the host cache.
+  static constexpr std::size_t kRefillBatch = 256;
+
+  // Sentinel for the L1 same-line memo below.
+  static constexpr LineAddr kNoLine = ~LineAddr{0};
+
   struct CoreState {
     std::unique_ptr<TraceSource> trace;
-    CpiAccumulator cpi;
+    CpiAccumulator cpi{100};  // placeholder; the ctor installs the real CPI
+    // L1 same-line memo: the line this core touched last, which is
+    // guaranteed resident and MRU in its L1 set until back-invalidation
+    // removes it (back_invalidate_core clears the memo).  Traces are
+    // element-granular, so runs of references to one 64-byte line are the
+    // dominant pattern; the memo turns those into a handful of counter
+    // increments with no tag scan.  `l1_last_dirty` latches "the L1 copy is
+    // known dirty" so repeated write hits skip the mark_dirty scan.
+    LineAddr l1_last_line = kNoLine;
+    bool l1_last_dirty = false;
+    // Excludes the global stall offset: stalls that freeze *every* core
+    // (recalibration, recovery) accumulate once in global_stall_cycles_
+    // instead of being added to each core's clock.  A uniform addition never
+    // changes the min-clock order, so the scheduler compares these offsets
+    // directly; the offset is added back when results are finalized.
     Cycles clock = 0;
     std::uint64_t refs_done = 0;
     bool exhausted = false;
+    // Batched refill buffer (fast engine only; the reference engine calls
+    // trace->next() per reference).
+    std::vector<MemRef> buf;
+    std::uint32_t buf_pos = 0;
+    std::uint32_t buf_len = 0;
   };
 
   TagArray& level_array(std::uint32_t level, CoreId core);
@@ -125,11 +167,50 @@ class MulticoreSimulator {
   // Prefetch handling (inclusive only).
   void run_prefetches(CoreId core, const MemRef& ref);
 
+  // --- Fast-path run machinery ----------------------------------------------
+  // The run loop specialized on the feature mask; run() dispatches once per
+  // run to the instantiation matching (injector, prefetchers, auto-disable).
+  template <bool kFault, bool kPrefetch, bool kAutoDisable>
+  void run_loop(std::uint64_t max_refs_per_core);
+  // Shared epilogue: aggregate events, price energy, apply the stall offset.
+  SimResult finalize_result();
+
+  // Min-clock core scheduler: a binary min-heap of (clock, core) ordered
+  // lexicographically, which reproduces the linear scan's deterministic
+  // tie-break (lowest core id among the minimum clocks).  The common
+  // operation is "advance the top core's clock", a single sift-down.
+  struct HeapSlot {
+    Cycles clock;
+    CoreId core;
+    bool operator<(const HeapSlot& o) const {
+      return clock != o.clock ? clock < o.clock : core < o.core;
+    }
+  };
+  void heap_sift_down(std::size_t i);
+  void heap_pop_top();
+
   HierarchyConfig config_;
   std::vector<CoreState> cores_;
-  // private_[lvl][core] for lvl 0..N-2; shared LLC separate.
-  std::vector<std::vector<TagArray>> private_;
+  // Private tag arrays, flat in lvl-major order: index `lvl * cores + core`
+  // for lvl 0..N-2 (one pointer chase on the hot path instead of two);
+  // shared LLC separate.
+  std::vector<TagArray> private_;
   std::unique_ptr<TagArray> shared_;
+  // LLC core-presence directory (inclusive hierarchies, <= 8 cores): one
+  // byte per LLC slot, bit c set while core c *may* hold the line at its
+  // top private level.  Conservative — bits are set on top-private fills
+  // and only reset when the LLC slot is refilled, so a stale bit costs one
+  // wasted scan but a clear bit is a guarantee.  Lets an LLC eviction
+  // back-invalidate only the cores that can actually hold the victim
+  // instead of scanning every core's private hierarchy.
+  std::vector<std::uint8_t> llc_dir_;
+  bool llc_dir_on_ = false;
+  std::uint32_t top_private_ = 0;  // highest private level index (N-2)
+
+  // Hoisted L1 constants (the memo fast path must not re-derive them per
+  // reference): line shift and the latency probe(0) charges for a hit.
+  std::uint32_t l1_shift_ = 0;
+  Cycles l1_hit_latency_ = 0;
 
   // Inclusive/hybrid: one predictor over the shared LLC.
   std::unique_ptr<LlcPredictor> llc_pred_;
@@ -170,6 +251,9 @@ class MulticoreSimulator {
   std::uint64_t demand_memory_accesses_ = 0;
   std::uint64_t memory_writebacks_ = 0;
   Cycles recal_stall_cycles_ = 0;
+  // Stall cycles applied uniformly to every core (see CoreState::clock).
+  Cycles global_stall_cycles_ = 0;
+  std::vector<HeapSlot> heap_;
   bool ran_ = false;
 };
 

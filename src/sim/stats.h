@@ -35,6 +35,13 @@ struct SimResult {
 
   EnergyBreakdown energy;
 
+  // Host-side throughput, filled by run_spec (not by the simulator): wall
+  // time of trace construction + simulator construction + run, and the
+  // simulated references per host second it implies.  Excluded from
+  // stats_identical — two bit-identical runs never take identical wall time.
+  double host_seconds = 0.0;
+  double host_mrefs_per_s = 0.0;
+
   double hit_rate(std::size_t level) const {
     const auto& ev = levels.at(level);
     return ev.accesses == 0
@@ -51,5 +58,11 @@ struct SimResult {
                         static_cast<double>(m);
   }
 };
+
+// Bit-identical comparison of everything a run *simulated* — every counter,
+// cycle count and priced joule, but not the host-side timing, which is a
+// property of the machine the simulation ran on rather than of the run.
+// This is the equality the fast-engine-vs-reference-engine tests assert.
+bool stats_identical(const SimResult& a, const SimResult& b);
 
 }  // namespace redhip

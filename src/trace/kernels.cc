@@ -331,4 +331,22 @@ void HotColdKernel::next(MemRef& out) {
   out.is_write = rng_.chance_ppm(write_ppm_);
 }
 
+// --------------------------------------------------------------- batch loops
+// One monomorphic loop per kernel: the qualified call resolves statically
+// inside the final class, so the per-reference kernel body inlines and a
+// burst of n references costs one virtual dispatch instead of n.
+#define REDHIP_KERNEL_NEXT_N(K)                          \
+  void K::next_n(MemRef* out, std::size_t n) {           \
+    for (std::size_t i = 0; i < n; ++i) K::next(out[i]); \
+  }
+REDHIP_KERNEL_NEXT_N(StreamKernel)
+REDHIP_KERNEL_NEXT_N(StencilKernel)
+REDHIP_KERNEL_NEXT_N(PointerChaseKernel)
+REDHIP_KERNEL_NEXT_N(ZipfWalkKernel)
+REDHIP_KERNEL_NEXT_N(SparseGatherKernel)
+REDHIP_KERNEL_NEXT_N(BfsKernel)
+REDHIP_KERNEL_NEXT_N(SgdKernel)
+REDHIP_KERNEL_NEXT_N(HotColdKernel)
+#undef REDHIP_KERNEL_NEXT_N
+
 }  // namespace redhip

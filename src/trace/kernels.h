@@ -33,6 +33,13 @@ class Kernel {
   virtual ~Kernel() = default;
   // Produce the next reference (addr, pc, is_write).
   virtual void next(MemRef& out) = 0;
+  // Produce `n` references — exactly the sequence `n` next() calls emit.
+  // Every concrete kernel overrides this with a loop whose per-reference
+  // call is qualified (and therefore devirtualized and inlined), so a burst
+  // costs one virtual dispatch instead of one per reference.
+  virtual void next_n(MemRef* out, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) next(out[i]);
+  }
   virtual const char* name() const = 0;
 };
 
@@ -50,6 +57,7 @@ class StreamKernel final : public Kernel {
                std::uint32_t write_ppm, std::uint32_t pc_base,
                std::uint64_t seed, std::uint32_t repeats = 1);
   void next(MemRef& out) override;
+  void next_n(MemRef* out, std::size_t n) override;
   const char* name() const override { return "stream"; }
 
  private:
@@ -77,6 +85,7 @@ class StencilKernel final : public Kernel {
   StencilKernel(Region region, std::uint64_t nx, std::uint64_t ny,
                 std::uint64_t nz, std::uint32_t pc_base);
   void next(MemRef& out) override;
+  void next_n(MemRef* out, std::size_t n) override;
   const char* name() const override { return "stencil"; }
 
  private:
@@ -98,6 +107,7 @@ class PointerChaseKernel final : public Kernel {
                      std::uint32_t write_ppm, std::uint32_t pc_base,
                      std::uint64_t seed);
   void next(MemRef& out) override;
+  void next_n(MemRef* out, std::size_t n) override;
   const char* name() const override { return "chase"; }
 
  private:
@@ -123,6 +133,7 @@ class ZipfWalkKernel final : public Kernel {
                  std::uint32_t write_ppm, std::uint32_t pc_base,
                  std::uint64_t seed);
   void next(MemRef& out) override;
+  void next_n(MemRef* out, std::size_t n) override;
   const char* name() const override { return "zipf"; }
 
  private:
@@ -155,6 +166,7 @@ class SparseGatherKernel final : public Kernel {
                      std::uint64_t seed, std::uint32_t zipf_k = 0,
                      std::uint32_t gather_elems = 1);
   void next(MemRef& out) override;
+  void next_n(MemRef* out, std::size_t n) override;
   const char* name() const override { return "sparse"; }
 
  private:
@@ -185,6 +197,7 @@ class BfsKernel final : public Kernel {
             std::uint32_t mean_degree, std::uint32_t visited_zipf_k,
             std::uint32_t pc_base, std::uint64_t seed);
   void next(MemRef& out) override;
+  void next_n(MemRef* out, std::size_t n) override;
   const char* name() const override { return "bfs"; }
 
  private:
@@ -211,6 +224,7 @@ class SgdKernel final : public Kernel {
             std::uint32_t pc_base, std::uint64_t seed,
             std::uint32_t zipf_k = 1);
   void next(MemRef& out) override;
+  void next_n(MemRef* out, std::size_t n) override;
   const char* name() const override { return "sgd"; }
 
  private:
@@ -235,6 +249,7 @@ class HotColdKernel final : public Kernel {
                 std::uint32_t write_ppm, std::uint32_t pc_base,
                 std::uint64_t seed);
   void next(MemRef& out) override;
+  void next_n(MemRef* out, std::size_t n) override;
   const char* name() const override { return "hotcold"; }
 
  private:

@@ -7,6 +7,8 @@
 // application's average CPI).
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -31,6 +33,19 @@ class TraceSource {
  public:
   virtual ~TraceSource() = default;
   virtual bool next(MemRef& out) = 0;
+
+  // Fill up to `n` references into `out` and return how many were produced.
+  // Returns fewer than `n` only when the trace ends mid-batch; 0 means the
+  // trace is exhausted.  The reference sequence is exactly the sequence
+  // `next` would have produced — batching is a pure amortization of the
+  // per-reference virtual call, never a behavioural change (locked in by
+  // tests/trace_batch_test).  The default implementation loops over next();
+  // generators override it with block-filling fast paths.
+  virtual std::size_t next_batch(MemRef* out, std::size_t n) {
+    std::size_t filled = 0;
+    while (filled < n && next(out[filled])) ++filled;
+    return filled;
+  }
 };
 
 // In-memory trace; the unit tests' workhorse.
@@ -43,6 +58,13 @@ class VectorTraceSource final : public TraceSource {
     if (pos_ >= refs_.size()) return false;
     out = refs_[pos_++];
     return true;
+  }
+
+  std::size_t next_batch(MemRef* out, std::size_t n) override {
+    const std::size_t take = std::min(n, refs_.size() - pos_);
+    std::copy_n(refs_.begin() + static_cast<std::ptrdiff_t>(pos_), take, out);
+    pos_ += take;
+    return take;
   }
 
   void rewind() { pos_ = 0; }

@@ -1,5 +1,6 @@
 #include "trace/trace_io.h"
 
+#include <algorithm>
 #include <cstring>
 #include <sstream>
 
@@ -155,6 +156,36 @@ bool FileTraceSource::next(MemRef& out) {
   out.gap = rec.gap;
   out.is_write = (rec.flags & 1) != 0;
   return true;
+}
+
+std::size_t FileTraceSource::next_batch(MemRef* out, std::size_t n) {
+  const std::uint64_t left = total_ - read_;
+  const std::size_t want =
+      static_cast<std::size_t>(std::min<std::uint64_t>(n, left));
+  if (want == 0) return 0;
+  // Records are read through a stack block so the packed 16-byte layout
+  // never constrains MemRef itself.
+  PackedRecord recs[256];
+  std::size_t filled = 0;
+  while (filled < want) {
+    const std::size_t chunk = std::min(want - filled, std::size_t{256});
+    if (std::fread(recs, sizeof(PackedRecord), chunk, file_) != chunk) {
+      std::ostringstream os;
+      os << "trace " << path_ << ": short read at record " << read_ + filled
+         << " of " << total_ << " (file changed after open?)";
+      throw std::runtime_error(os.str());
+    }
+    for (std::size_t i = 0; i < chunk; ++i) {
+      MemRef& r = out[filled + i];
+      r.addr = recs[i].addr;
+      r.pc = recs[i].pc;
+      r.gap = recs[i].gap;
+      r.is_write = (recs[i].flags & 1) != 0;
+    }
+    filled += chunk;
+  }
+  read_ += filled;
+  return filled;
 }
 
 }  // namespace redhip

@@ -69,6 +69,11 @@ class FileTraceSource final : public TraceSource {
   // length check makes this impossible for an untouched file).
   bool next(MemRef& out) override;
 
+  // Block read: one fread for up to `n` records instead of one per record.
+  // Same sequence, same end-of-trace behaviour (returns the remaining count
+  // when fewer than `n` records are left, then 0), same short-read error.
+  std::size_t next_batch(MemRef* out, std::size_t n) override;
+
   std::uint64_t record_count() const { return total_; }
 
  private:

@@ -1,5 +1,7 @@
 #include "trace/workloads.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace redhip {
@@ -342,6 +344,35 @@ bool SyntheticTrace::next(MemRef& out) {
                 : static_cast<std::uint16_t>(rng_.range(
                       gap_mean_ - gap_mean_ / 2, gap_mean_ + gap_mean_ / 2));
   return true;
+}
+
+std::size_t SyntheticTrace::next_batch(MemRef* out, std::size_t n) {
+  const std::uint32_t gap_lo = gap_mean_ - gap_mean_ / 2;
+  const std::uint32_t gap_hi = gap_mean_ + gap_mean_ / 2;
+  std::size_t filled = 0;
+  while (filled < n) {
+    if (burst_left_ == 0) reschedule();
+    const std::size_t chunk =
+        static_cast<std::size_t>(std::min<std::uint64_t>(burst_left_,
+                                                         n - filled));
+    burst_left_ -= chunk;
+    // Kernel draws and gap draws come from different RNGs (the kernel's own
+    // stream vs the trace's), so hoisting the whole chunk's kernel calls
+    // ahead of its gap fills keeps both streams' internal order — and the
+    // emitted references — identical to the scalar path, while paying one
+    // virtual dispatch per chunk instead of one per reference.
+    components_[active_].kernel->next_n(out + filled, chunk);
+    if (gap_mean_ == 0) {
+      for (std::size_t i = 0; i < chunk; ++i) out[filled + i].gap = 0;
+    } else {
+      for (std::size_t i = 0; i < chunk; ++i) {
+        out[filled + i].gap =
+            static_cast<std::uint16_t>(rng_.range(gap_lo, gap_hi));
+      }
+    }
+    filled += chunk;
+  }
+  return filled;
 }
 
 std::unique_ptr<TraceSource> make_workload(BenchmarkId id, CoreId core,

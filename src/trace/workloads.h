@@ -65,6 +65,13 @@ class SyntheticTrace final : public TraceSource {
 
   bool next(MemRef& out) override;
 
+  // Block-filling fast path: emits whole burst chunks per active kernel so
+  // the kernel pointer and gap parameters stay hot across the inner loop.
+  // Draws the RNG in exactly the order next() does (one reschedule draw at
+  // each burst boundary, one gap draw per reference), so the produced
+  // sequence is bit-identical to repeated next() calls.
+  std::size_t next_batch(MemRef* out, std::size_t n) override;
+
  private:
   void reschedule();
 

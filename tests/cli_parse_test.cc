@@ -1,0 +1,52 @@
+// 64-bit CLI parsing: ref counts past 2^31 and full-range u64 seeds must
+// round-trip through the option layer (std::stoll alone would reject seeds
+// above 2^63-1), and --engine must select the run loop.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/cli.h"
+#include "harness/experiment.h"
+
+namespace redhip {
+namespace {
+
+CliOptions make_cli(std::vector<const char*> args) {
+  args.insert(args.begin(), "test_binary");
+  return CliOptions(static_cast<int>(args.size()),
+                    const_cast<char**>(args.data()));
+}
+
+TEST(CliParse, RefsPastInt32) {
+  const auto cli = make_cli({"--refs=5000000000"});
+  EXPECT_EQ(cli.get_uint64("refs", 0), 5'000'000'000ull);
+  const ExperimentOptions opts = ExperimentOptions::parse(cli);
+  EXPECT_EQ(opts.refs_per_core, 5'000'000'000ull);
+}
+
+TEST(CliParse, SeedUsesFullU64Range) {
+  // Above 2^63-1: would throw out_of_range through a signed parse.
+  const auto cli = make_cli({"--seed=18446744073709551615"});
+  EXPECT_EQ(cli.get_uint64("seed", 0), 18'446'744'073'709'551'615ull);
+  const ExperimentOptions opts = ExperimentOptions::parse(cli);
+  EXPECT_EQ(opts.seed, 18'446'744'073'709'551'615ull);
+}
+
+TEST(CliParse, DefaultsSurviveAbsence) {
+  const auto cli = make_cli({});
+  EXPECT_EQ(cli.get_uint64("refs", 123), 123u);
+  const ExperimentOptions opts = ExperimentOptions::parse(cli);
+  EXPECT_EQ(opts.refs_per_core, 1'000'000u);
+  EXPECT_EQ(opts.seed, 42u);
+  EXPECT_EQ(opts.engine, SimEngine::kFast);
+}
+
+TEST(CliParse, EngineSelection) {
+  EXPECT_EQ(ExperimentOptions::parse(make_cli({"--engine=fast"})).engine,
+            SimEngine::kFast);
+  EXPECT_EQ(ExperimentOptions::parse(make_cli({"--engine=reference"})).engine,
+            SimEngine::kReference);
+}
+
+}  // namespace
+}  // namespace redhip

@@ -1,0 +1,99 @@
+// The fast engine (run(): batched trace refill, heap scheduler, run loops
+// specialized on the feature mask) must be a pure reimplementation of the
+// reference engine (run_reference(): the original scalar loop): same
+// interleave, same RNG consumption, bit-identical statistics.  These tests
+// pin that contract across schemes, inclusion policies, and every
+// specialized-loop instantiation.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "harness/run.h"
+#include "sim/stats.h"
+
+namespace redhip {
+namespace {
+
+RunSpec small_spec(BenchmarkId bench, Scheme scheme,
+                   InclusionPolicy inclusion) {
+  RunSpec spec;
+  spec.bench = bench;
+  spec.scheme = scheme;
+  spec.inclusion = inclusion;
+  spec.scale = 8;
+  spec.refs_per_core = 20'000;
+  spec.seed = 1234;
+  return spec;
+}
+
+// Run the same spec through both engines and require bit-identical stats.
+void expect_engines_agree(RunSpec spec, const std::string& what) {
+  spec.engine = SimEngine::kFast;
+  const SimResult fast = run_spec(spec);
+  spec.engine = SimEngine::kReference;
+  const SimResult ref = run_spec(spec);
+  EXPECT_TRUE(stats_identical(fast, ref)) << what;
+  // Spot-check a few load-bearing counters so a stats_identical bug can't
+  // silently vacuously pass.
+  EXPECT_EQ(fast.total_refs, ref.total_refs) << what;
+  EXPECT_EQ(fast.exec_cycles, ref.exec_cycles) << what;
+  EXPECT_GT(fast.total_refs, 0u) << what;
+}
+
+TEST(EngineEquivalence, EverySchemeInclusive) {
+  for (Scheme s : {Scheme::kBase, Scheme::kPhased, Scheme::kCbf,
+                   Scheme::kRedhip, Scheme::kOracle, Scheme::kPartialTag}) {
+    expect_engines_agree(
+        small_spec(BenchmarkId::kMcf, s, InclusionPolicy::kInclusive),
+        "inclusive " + to_string(s));
+  }
+}
+
+TEST(EngineEquivalence, ExclusiveAndHybrid) {
+  for (InclusionPolicy p :
+       {InclusionPolicy::kExclusive, InclusionPolicy::kHybrid}) {
+    for (Scheme s : {Scheme::kBase, Scheme::kRedhip}) {
+      expect_engines_agree(small_spec(BenchmarkId::kBlas, s, p),
+                           to_string(p) + " " + to_string(s));
+    }
+  }
+}
+
+TEST(EngineEquivalence, SeveralWorkloads) {
+  for (BenchmarkId b : {BenchmarkId::kBwaves, BenchmarkId::kAstar,
+                        BenchmarkId::kMix, BenchmarkId::kPmf}) {
+    expect_engines_agree(
+        small_spec(b, Scheme::kRedhip, InclusionPolicy::kInclusive),
+        "workload " + to_string(b));
+  }
+}
+
+// Every run_loop<kFault, kPrefetch, kAutoDisable> instantiation: the fast
+// engine dispatches on the feature mask, so each of the 8 combinations is a
+// distinct compiled loop that must match the (always-generic) reference.
+TEST(EngineEquivalence, AllSpecializedLoopInstantiations) {
+  for (int mask = 0; mask < 8; ++mask) {
+    const bool fault = mask & 1;
+    const bool prefetch = mask & 2;
+    const bool auto_disable = mask & 4;
+    RunSpec spec =
+        small_spec(BenchmarkId::kMcf, Scheme::kRedhip,
+                   InclusionPolicy::kInclusive);
+    spec.prefetch = prefetch;
+    spec.tweak = [fault, auto_disable](HierarchyConfig& config) {
+      if (fault) {
+        config.fault.enabled = true;
+        config.fault.rate_per_mref = 2'000;  // dense enough to fire at 160k
+        config.audit.enabled = true;
+      }
+      if (auto_disable) {
+        config.auto_disable.enabled = true;
+        config.auto_disable.epoch_refs = 5'000;  // several epochs per run
+      }
+    };
+    expect_engines_agree(spec, "feature mask " + std::to_string(mask));
+  }
+}
+
+}  // namespace
+}  // namespace redhip

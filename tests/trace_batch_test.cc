@@ -1,0 +1,157 @@
+// Batched trace delivery must be a pure amortization: for every source,
+// the sequence produced by next_batch() is bit-identical to the sequence
+// repeated next() calls would have produced — same references, same RNG
+// consumption, same end-of-trace behaviour.  The simulator's fast path
+// (sim/simulator.cc refill buffers) relies on exactly this property.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "trace/mem_ref.h"
+#include "trace/trace_io.h"
+#include "trace/workloads.h"
+
+namespace redhip {
+namespace {
+
+std::vector<MemRef> collect_scalar(TraceSource& src, std::size_t n) {
+  std::vector<MemRef> out;
+  MemRef m;
+  while (out.size() < n && src.next(m)) out.push_back(m);
+  return out;
+}
+
+// Drain via next_batch with a rotating, deliberately awkward set of batch
+// sizes: 1, small primes, the simulator's refill size, larger-than-refill.
+std::vector<MemRef> collect_batched(TraceSource& src, std::size_t n) {
+  static constexpr std::size_t kSizes[] = {1, 3, 7, 64, 137, 256, 301};
+  std::vector<MemRef> out;
+  std::vector<MemRef> buf(512);
+  std::size_t call = 0;
+  while (out.size() < n) {
+    const std::size_t want =
+        std::min(kSizes[call++ % std::size(kSizes)], n - out.size());
+    const std::size_t got = src.next_batch(buf.data(), want);
+    out.insert(out.end(), buf.begin(),
+               buf.begin() + static_cast<std::ptrdiff_t>(got));
+    if (got == 0) break;
+  }
+  return out;
+}
+
+void expect_same_sequence(const std::vector<MemRef>& scalar,
+                          const std::vector<MemRef>& batched,
+                          const std::string& what) {
+  ASSERT_EQ(scalar.size(), batched.size()) << what;
+  for (std::size_t i = 0; i < scalar.size(); ++i) {
+    ASSERT_EQ(scalar[i], batched[i]) << what << " diverges at ref " << i;
+  }
+}
+
+class WorkloadBatch : public ::testing::TestWithParam<BenchmarkId> {};
+
+// Every synthetic workload generator, on a private-profile core and (for
+// kMix and the sharded apps) a different-profile core.
+TEST_P(WorkloadBatch, BatchedMatchesScalar) {
+  for (CoreId core : {CoreId{0}, CoreId{5}}) {
+    auto scalar_src = make_workload(GetParam(), core, 8, 7);
+    auto batched_src = make_workload(GetParam(), core, 8, 7);
+    const auto scalar = collect_scalar(*scalar_src, 20'000);
+    const auto batched = collect_batched(*batched_src, 20'000);
+    expect_same_sequence(scalar, batched,
+                         to_string(GetParam()) + " core " +
+                             std::to_string(core));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadBatch,
+                         ::testing::ValuesIn(all_benchmarks()),
+                         [](const auto& info) {
+                           return to_string(info.param);
+                         });
+
+std::vector<MemRef> make_refs(std::size_t n) {
+  std::vector<MemRef> refs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    refs[i].addr = 0x1000 + 64 * i;
+    refs[i].pc = static_cast<std::uint32_t>(0x400000 + 4 * i);
+    refs[i].gap = static_cast<std::uint16_t>(i % 17);
+    refs[i].is_write = (i % 5) == 0;
+  }
+  return refs;
+}
+
+TEST(VectorTraceBatch, BatchedMatchesScalarAndEndsCleanly) {
+  const auto refs = make_refs(1000);
+  VectorTraceSource scalar_src(refs);
+  VectorTraceSource batched_src(refs);
+  expect_same_sequence(collect_scalar(scalar_src, 2000),
+                       collect_batched(batched_src, 2000), "vector");
+  // Exhausted source keeps returning 0.
+  MemRef buf[4];
+  EXPECT_EQ(batched_src.next_batch(buf, 4), 0u);
+}
+
+TEST(VectorTraceBatch, OverlongRequestReturnsRemainder) {
+  VectorTraceSource src(make_refs(10));
+  MemRef buf[64];
+  EXPECT_EQ(src.next_batch(buf, 7), 7u);
+  EXPECT_EQ(src.next_batch(buf, 64), 3u);  // only 3 left
+  EXPECT_EQ(src.next_batch(buf, 64), 0u);
+}
+
+// A source that only implements next() exercises the TraceSource default
+// next_batch (the loop-over-next fallback).
+class ScalarOnlySource final : public TraceSource {
+ public:
+  explicit ScalarOnlySource(std::size_t total) : total_(total) {}
+  bool next(MemRef& out) override {
+    if (emitted_ >= total_) return false;
+    out.addr = 64 * emitted_;
+    out.gap = static_cast<std::uint16_t>(emitted_ % 3);
+    ++emitted_;
+    return true;
+  }
+
+ private:
+  std::size_t total_;
+  std::size_t emitted_ = 0;
+};
+
+TEST(DefaultBatch, FallbackLoopsOverNext) {
+  ScalarOnlySource scalar_src(500);
+  ScalarOnlySource batched_src(500);
+  expect_same_sequence(collect_scalar(scalar_src, 600),
+                       collect_batched(batched_src, 600), "fallback");
+}
+
+TEST(FileTraceBatch, BatchedMatchesScalarAndEndsCleanly) {
+  const std::string path = ::testing::TempDir() + "batch_trace.bin";
+  const auto refs = make_refs(777);  // not a multiple of any batch size
+  {
+    TraceWriter w(path);
+    for (const MemRef& r : refs) w.append(r);
+    w.finish();
+  }
+  FileTraceSource scalar_src(path);
+  FileTraceSource batched_src(path);
+  EXPECT_EQ(batched_src.record_count(), refs.size());
+  expect_same_sequence(collect_scalar(scalar_src, 1000),
+                       collect_batched(batched_src, 1000), "file");
+  MemRef buf[8];
+  EXPECT_EQ(batched_src.next_batch(buf, 8), 0u);
+
+  // End-of-trace mid-batch: a request past the end returns the remainder.
+  FileTraceSource tail_src(path);
+  std::vector<MemRef> big(700);
+  EXPECT_EQ(tail_src.next_batch(big.data(), 700), 700u);
+  EXPECT_EQ(tail_src.next_batch(big.data(), 700), 77u);
+  EXPECT_EQ(tail_src.next_batch(big.data(), 700), 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace redhip
