@@ -5,7 +5,13 @@
 // ReDHiP, and prints the headline numbers: speedup, dynamic and total cache
 // energy savings, and what the predictor did.
 //
+// With --trace-events the ReDHiP run also records a per-epoch metric
+// series and a JSONL event trace (recalibrations, epoch confusion counts)
+// that scripts/plot_epochs.py renders; see DESIGN.md "Observability".
+//
 //   ./quickstart [--scale 8] [--refs 200000] [--bench mcf]
+//                [--trace-events redhip-events.jsonl]
+#include <algorithm>
 #include <cstdio>
 #include <string>
 
@@ -22,6 +28,7 @@ int main(int argc, char** argv) {
   const std::uint64_t refs =
       static_cast<std::uint64_t>(opts.get_int("refs", 200'000));
   const std::string bench_name = opts.get("bench", "mcf");
+  const std::string trace_events = opts.get("trace-events", "");
 
   BenchmarkId bench = BenchmarkId::kMcf;
   for (BenchmarkId id : all_benchmarks()) {
@@ -41,6 +48,14 @@ int main(int argc, char** argv) {
   spec.scheme = Scheme::kBase;
   const SimResult base = run_spec(spec);
   spec.scheme = Scheme::kRedhip;
+  if (!trace_events.empty()) {
+    spec.tweak = [&trace_events, refs](HierarchyConfig& hc) {
+      hc.obs.enabled = true;
+      // Eight epochs over the run, whatever --refs was.
+      hc.obs.epoch_refs = std::max<std::uint64_t>(1, refs * hc.cores / 8);
+      hc.obs.trace_path = trace_events;
+    };
+  }
   const SimResult redhip = run_spec(spec);
   const Comparison c = compare(base, redhip);
 
@@ -71,5 +86,11 @@ int main(int argc, char** argv) {
   std::printf("  recalibrations: %llu (stall %llu cycles total)\n",
               static_cast<unsigned long long>(pe.recalibrations),
               static_cast<unsigned long long>(redhip.recal_stall_cycles));
+  if (!trace_events.empty()) {
+    std::printf("\nwrote %zu-epoch event trace to %s\n"
+                "  plot it: python3 scripts/plot_epochs.py %s\n",
+                redhip.epochs.size(), trace_events.c_str(),
+                trace_events.c_str());
+  }
   return 0;
 }

@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Plot per-epoch series from the ReDHiP observability layer.
+
+Reads either input format the simulator emits (they share one schema, see
+DESIGN.md "Observability"):
+
+  * a JSONL event trace (``--trace-events`` / ``[obs] trace_path``): one
+    object per line, epoch samples are the lines with ``"ev": "epoch"``;
+  * a ``json_report`` document: one object with an ``"epochs"`` array.
+
+With no extra dependencies it renders ASCII charts to stdout; if
+matplotlib happens to be installed, ``--png out.png`` writes a figure
+instead.  Only the Python standard library is required.
+
+Usage:
+  plot_epochs.py TRACE.jsonl
+  plot_epochs.py report.json --series fp,pt_occupancy --height 10
+  plot_epochs.py TRACE.jsonl --png epochs.png
+"""
+
+import argparse
+import json
+import sys
+
+# Numeric per-epoch fields, in the schema's order.
+FIELDS = [
+    "refs", "l1_accesses", "l1_misses", "lookups", "predicted_absent",
+    "predicted_present", "tp", "fp", "tn", "fn", "recals", "pt_occupancy",
+]
+DEFAULT_SERIES = ["fp", "pt_occupancy", "l1_misses"]
+
+
+def load_epochs(path):
+    """Return the list of epoch dicts from a JSONL trace or a json_report."""
+    with open(path, "r", encoding="utf-8") as f:
+        text = f.read()
+    stripped = text.strip()
+    if not stripped:
+        raise SystemExit(f"{path}: empty file")
+    # A json_report is one JSON object spanning the whole file.
+    try:
+        doc = json.loads(stripped)
+    except json.JSONDecodeError:
+        doc = None
+    if isinstance(doc, dict) and "ev" not in doc:
+        epochs = doc.get("epochs")
+        if not epochs:
+            raise SystemExit(
+                f"{path}: no 'epochs' array — was the run made with "
+                "[obs] enabled?")
+        return epochs
+    # Otherwise: JSONL, one event object per line.
+    epochs = []
+    for n, line in enumerate(stripped.splitlines(), 1):
+        try:
+            ev = json.loads(line)
+        except json.JSONDecodeError as e:
+            raise SystemExit(f"{path}:{n}: not JSON: {e}")
+        if ev.get("ev") == "epoch":
+            epochs.append(ev)
+    if not epochs:
+        raise SystemExit(f"{path}: no \"ev\":\"epoch\" lines in the trace")
+    return epochs
+
+
+def downsample(values, width):
+    """Average consecutive samples down to at most `width` points."""
+    if len(values) <= width:
+        return values
+    out = []
+    n = len(values)
+    for i in range(width):
+        lo = i * n // width
+        hi = max(lo + 1, (i + 1) * n // width)
+        chunk = values[lo:hi]
+        out.append(sum(chunk) / len(chunk))
+    return out
+
+
+def ascii_chart(name, values, width, height):
+    """One column-bar chart, matplotlib-free."""
+    data = downsample([float(v) for v in values], width)
+    vmax = max(data)
+    vmin = min(data)
+    lines = [f"{name}  (epochs: {len(values)}, min {vmin:g}, max {vmax:g})"]
+    if vmax == vmin:
+        lines.append("  " + "-" * len(data) + f"  flat at {vmax:g}")
+        return "\n".join(lines)
+    for row in range(height, 0, -1):
+        cut = vmin + (vmax - vmin) * (row - 0.5) / height
+        cells = "".join("█" if v >= cut else " " for v in data)
+        label = f"{vmax:>10g} |" if row == height else (
+            f"{vmin:>10g} |" if row == 1 else "           |")
+        lines.append(label + cells)
+    lines.append("           +" + "-" * len(data))
+    lines.append(f"            epoch 0 .. {len(values) - 1}")
+    return "\n".join(lines)
+
+
+def plot_png(series, epochs, out_path):
+    import matplotlib  # noqa: F401 — probed by main() before calling
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    fig, axes = plt.subplots(len(series), 1, sharex=True,
+                             figsize=(8, 2.2 * len(series)), squeeze=False)
+    xs = [e.get("index", i) for i, e in enumerate(epochs)]
+    for ax, name in zip((a for row in axes for a in row), series):
+        ax.plot(xs, [e.get(name, 0) for e in epochs], drawstyle="steps-post")
+        ax.set_ylabel(name)
+        ax.grid(True, alpha=0.3)
+    axes[-1][0].set_xlabel("epoch")
+    fig.tight_layout()
+    fig.savefig(out_path, dpi=120)
+    print(f"wrote {out_path}")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Plot per-epoch metric series from a ReDHiP event "
+                    "trace (JSONL) or json_report.")
+    ap.add_argument("trace", help="JSONL event trace or json_report file")
+    ap.add_argument("--series", default=",".join(DEFAULT_SERIES),
+                    help="comma-separated fields to plot (default: "
+                         f"{','.join(DEFAULT_SERIES)}; choices: "
+                         f"{','.join(FIELDS)})")
+    ap.add_argument("--width", type=int, default=72,
+                    help="ASCII chart width in epochs/columns")
+    ap.add_argument("--height", type=int, default=8,
+                    help="ASCII chart height in rows")
+    ap.add_argument("--png", metavar="OUT",
+                    help="write a matplotlib figure instead of ASCII "
+                         "(requires matplotlib)")
+    args = ap.parse_args()
+
+    series = [s.strip() for s in args.series.split(",") if s.strip()]
+    for s in series:
+        if s not in FIELDS:
+            ap.error(f"unknown series {s!r}; choices: {', '.join(FIELDS)}")
+
+    epochs = load_epochs(args.trace)
+
+    if args.png:
+        try:
+            import matplotlib  # noqa: F401
+        except ImportError:
+            raise SystemExit(
+                "--png needs matplotlib, which is not installed; drop "
+                "--png for the ASCII charts (stdlib only)")
+        plot_png(series, epochs, args.png)
+        return
+
+    charts = [
+        ascii_chart(name, [e.get(name, 0) for e in epochs],
+                    args.width, args.height)
+        for name in series
+    ]
+    print("\n\n".join(charts))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -149,7 +149,7 @@ HierarchyConfig parse_config_text(const std::string& text) {
       } else if (section != "redhip" && section != "cbf" &&
                  section != "prefetcher" && section != "auto_disable" &&
                  section != "partial_tag" && section != "fault" &&
-                 section != "audit") {
+                 section != "audit" && section != "obs") {
         fail(line_no, "unknown section: [" + section + "]");
       }
       continue;
@@ -291,6 +291,20 @@ HierarchyConfig parse_config_text(const std::string& text) {
       } else {
         fail(line_no, "unknown [audit] key: " + key);
       }
+    } else if (section == "obs") {
+      if (key == "enabled") {
+        c.obs.enabled = parse_bool(value, line_no, key);
+      } else if (key == "epoch_refs") {
+        c.obs.epoch_refs = parse_size(value, line_no, key);
+      } else if (key == "epoch_cycles") {
+        c.obs.epoch_cycles = parse_size(value, line_no, key);
+      } else if (key == "trace_path") {
+        c.obs.trace_path = value;
+      } else if (key == "timing") {
+        c.obs.timing = parse_bool(value, line_no, key);
+      } else {
+        fail(line_no, "unknown [obs] key: " + key);
+      }
     } else if (section == "auto_disable") {
       if (key == "enabled") {
         c.auto_disable.enabled = parse_bool(value, line_no, key);
@@ -370,6 +384,16 @@ std::string config_to_text(const HierarchyConfig& config) {
     os << "\n[audit]\n";
     os << "enabled = true\n";
     os << "policy = " << to_string(config.audit.policy) << "\n";
+  }
+  if (config.obs.enabled) {
+    os << "\n[obs]\n";
+    os << "enabled = true\n";
+    os << "epoch_refs = " << config.obs.epoch_refs << "\n";
+    os << "epoch_cycles = " << config.obs.epoch_cycles << "\n";
+    if (!config.obs.trace_path.empty()) {
+      os << "trace_path = " << config.obs.trace_path << "\n";
+    }
+    os << "timing = " << (config.obs.timing ? "true" : "false") << "\n";
   }
   return os.str();
 }

@@ -1,7 +1,9 @@
 #include "harness/experiment.h"
 
 #include <algorithm>
+#include <cctype>
 #include <chrono>
+#include <filesystem>
 #include <numeric>
 
 #include "common/check.h"
@@ -20,6 +22,9 @@ ExperimentOptions ExperimentOptions::parse(const CliOptions& cli) {
   REDHIP_CHECK_MSG(engine == "fast" || engine == "reference",
                    "unknown engine: " + engine);
   o.engine = engine == "fast" ? SimEngine::kFast : SimEngine::kReference;
+  o.trace_events = cli.get("trace-events", "");
+  o.obs_epoch_refs = cli.get_uint64("obs-epoch", 100'000);
+  REDHIP_CHECK_MSG(o.obs_epoch_refs > 0, "--obs-epoch must be positive");
   const std::string bench = cli.get("bench", "");
   if (bench.empty()) {
     o.benches = all_benchmarks();
@@ -30,6 +35,18 @@ ExperimentOptions ExperimentOptions::parse(const CliOptions& cli) {
     REDHIP_CHECK_MSG(!o.benches.empty(), "unknown benchmark: " + bench);
   }
   return o;
+}
+
+std::string trace_file_name(BenchmarkId bench, const std::string& column,
+                            SimEngine engine) {
+  std::string name = to_string(bench) + "-" + column + "-" +
+                     (engine == SimEngine::kFast ? "fast" : "reference");
+  for (char& c : name) {
+    const bool keep = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                      c == '.' || c == '_' || c == '-';
+    if (!keep) c = '_';
+  }
+  return name + ".jsonl";
 }
 
 double estimated_run_cost(BenchmarkId bench, const SchemeColumn& column) {
@@ -57,6 +74,9 @@ std::vector<std::vector<SimResult>> run_matrix(
     const ExperimentOptions& opts, const std::vector<SchemeColumn>& columns,
     MatrixStats* stats) {
   const auto start = std::chrono::steady_clock::now();
+  if (!opts.trace_events.empty()) {
+    std::filesystem::create_directories(opts.trace_events);
+  }
   std::vector<std::vector<SimResult>> results(
       opts.benches.size(), std::vector<SimResult>(columns.size()));
   // Longest-job-first: order the (bench, column) pairs by estimated cost so
@@ -94,10 +114,28 @@ std::vector<std::vector<SimResult>> run_matrix(
       // workload stays bit-identical, only the fault sequence moves.
       // Deterministic (non-transient) faults and every other exception
       // propagate to the thread pool, which rethrows after the drain.
+      // Per-cell event trace: file name carries bench, column and engine so
+      // the fast and reference legs of one spec never overwrite each other
+      // (their streams must be byte-identical — diffing the two files is
+      // the equivalence oracle).
+      std::string trace_path;
+      if (!opts.trace_events.empty()) {
+        trace_path =
+            (std::filesystem::path(opts.trace_events) /
+             trace_file_name(opts.benches[b], columns[c].label, opts.engine))
+                .string();
+      }
       for (std::uint32_t attempt = 0;; ++attempt) {
         const auto base_tweak = columns[c].tweak;
-        spec.tweak = [&base_tweak, attempt](HierarchyConfig& hc) {
+        const std::uint64_t epoch_refs = opts.obs_epoch_refs;
+        spec.tweak = [&base_tweak, &trace_path, epoch_refs,
+                      attempt](HierarchyConfig& hc) {
           if (base_tweak) base_tweak(hc);
+          if (!trace_path.empty()) {
+            hc.obs.enabled = true;
+            hc.obs.epoch_refs = epoch_refs;
+            hc.obs.trace_path = trace_path;
+          }
           if (attempt > 0) hc.fault.seed += attempt * 0x9e3779b9ull;
         };
         try {

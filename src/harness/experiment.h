@@ -20,14 +20,28 @@ struct ExperimentOptions {
   std::size_t jobs = 0;  // 0 = hardware concurrency
   SimEngine engine = SimEngine::kFast;
   std::vector<BenchmarkId> benches;
+  // Observability (src/obs): when `trace_events` names a directory, every
+  // matrix cell runs with obs enabled and writes its JSONL event trace to
+  // `<trace_events>/<bench>-<column>-<engine>.jsonl` (the directory is
+  // created).  Empty = obs off (the default, and the speed-benchmark
+  // configuration).
+  std::string trace_events;
+  std::uint64_t obs_epoch_refs = 100'000;
 
-  // Parses --scale/--refs/--seed/--csv/--jobs/--bench/--engine (or the
-  // REDHIP_BENCH_* environment equivalents).  --bench limits the workload
-  // list to one named benchmark; --engine=reference selects the oracle run
-  // loop.  refs and seed are parsed with full 64-bit range (a seed is an
-  // arbitrary u64, and ref counts past 2^31 are legitimate).
+  // Parses --scale/--refs/--seed/--csv/--jobs/--bench/--engine plus
+  // --trace-events/--obs-epoch (or the REDHIP_BENCH_* environment
+  // equivalents).  --bench limits the workload list to one named benchmark;
+  // --engine=reference selects the oracle run loop.  refs and seed are
+  // parsed with full 64-bit range (a seed is an arbitrary u64, and ref
+  // counts past 2^31 are legitimate).
   static ExperimentOptions parse(const CliOptions& cli);
 };
+
+// `<bench>-<column>-<engine>.jsonl` with the label sanitized to
+// [A-Za-z0-9._-]; shared by run_matrix and the tests that predict the
+// per-cell trace file names.
+std::string trace_file_name(BenchmarkId bench, const std::string& column,
+                            SimEngine engine);
 
 // Bounded retry budget for matrix runs aborted by a transient injected
 // fault (TransientFaultError under RecoveryPolicy::kAbortRetry); each

@@ -184,6 +184,51 @@ std::string to_json(const SimResult& r) {
   for (Cycles c : r.core_cycles) w.value(c);
   w.end_array();
 
+  // Epoch series from the observability layer; absent (not an empty array)
+  // when obs was off, so obs-free reports keep their pre-obs shape.  The
+  // per-object schema matches the JSONL "epoch" event — scripts/
+  // plot_epochs.py reads either source.
+  if (!r.epochs.empty()) {
+    w.begin_array("epochs");
+    for (const EpochSample& e : r.epochs) {
+      w.begin_object();
+      w.key("index");
+      w.value(e.index);
+      w.key("end_ref");
+      w.value(e.end_ref);
+      w.key("end_cycles");
+      w.value(e.end_cycles);
+      w.key("refs");
+      w.value(e.refs);
+      w.key("l1_accesses");
+      w.value(e.l1_accesses);
+      w.key("l1_misses");
+      w.value(e.l1_misses);
+      w.key("lookups");
+      w.value(e.lookups);
+      w.key("predicted_absent");
+      w.value(e.predicted_absent);
+      w.key("predicted_present");
+      w.value(e.predicted_present);
+      w.key("tp");
+      w.value(e.tp);
+      w.key("fp");
+      w.value(e.fp);
+      w.key("tn");
+      w.value(e.tn);
+      w.key("fn");
+      w.value(e.fn);
+      w.key("recals");
+      w.value(e.recalibrations);
+      w.key("pt_occupancy");
+      w.value(e.pt_occupancy);
+      w.key("active");
+      w.value(static_cast<std::uint64_t>(e.predictor_active ? 1 : 0));
+      w.end_object();
+    }
+    w.end_array();
+  }
+
   w.end_object();
   return w.str();
 }

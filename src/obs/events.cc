@@ -1,0 +1,42 @@
+#include "obs/events.h"
+
+#include <stdexcept>
+
+namespace redhip {
+
+FileEventSink::FileEventSink(const std::string& path)
+    : out_(path, std::ios::out | std::ios::trunc) {
+  if (!out_) {
+    throw std::runtime_error("FileEventSink: cannot open '" + path + "'");
+  }
+}
+
+void FileEventSink::write_line(const std::string& line) { out_ << line; }
+
+void FileEventSink::flush() { out_.flush(); }
+
+EventWriter& EventWriter::field(const char* key, const std::string& v) {
+  os_ << ",\"" << key << "\":\"";
+  for (const char c : v) {
+    switch (c) {
+      case '"':
+        os_ << "\\\"";
+        break;
+      case '\\':
+        os_ << "\\\\";
+        break;
+      case '\n':
+        os_ << "\\n";
+        break;
+      case '\t':
+        os_ << "\\t";
+        break;
+      default:
+        os_ << c;
+    }
+  }
+  os_ << '"';
+  return *this;
+}
+
+}  // namespace redhip

@@ -1,0 +1,189 @@
+#include "obs/jsonl_reader.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace redhip {
+namespace {
+
+[[noreturn]] void malformed(std::size_t line_no, const std::string& why) {
+  throw std::runtime_error("jsonl line " + std::to_string(line_no) + ": " +
+                           why);
+}
+
+// Cursor over one line.
+struct Cursor {
+  const std::string& s;
+  std::size_t pos = 0;
+  std::size_t line_no;
+
+  char peek() const {
+    if (pos >= s.size()) malformed(line_no, "unexpected end of line");
+    return s[pos];
+  }
+  char take() {
+    const char c = peek();
+    ++pos;
+    return c;
+  }
+  void expect(char c) {
+    if (take() != c) {
+      malformed(line_no, std::string("expected '") + c + "'");
+    }
+  }
+  bool done() const { return pos >= s.size(); }
+};
+
+std::string parse_string(Cursor& c) {
+  c.expect('"');
+  std::string out;
+  while (true) {
+    const char ch = c.take();
+    if (ch == '"') return out;
+    if (ch == '\\') {
+      const char esc = c.take();
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        default:
+          malformed(c.line_no, "unsupported escape");
+      }
+    } else {
+      out += ch;
+    }
+  }
+}
+
+std::uint64_t parse_uint(Cursor& c) {
+  if (std::isdigit(static_cast<unsigned char>(c.peek())) == 0) {
+    malformed(c.line_no, "expected digit");
+  }
+  std::uint64_t v = 0;
+  while (!c.done() && std::isdigit(static_cast<unsigned char>(c.s[c.pos]))) {
+    v = v * 10 + static_cast<std::uint64_t>(c.take() - '0');
+  }
+  return v;
+}
+
+bool parse_keyword(Cursor& c, const char* word) {
+  for (const char* p = word; *p != '\0'; ++p) {
+    if (c.done() || c.s[c.pos] != *p) return false;
+    ++c.pos;
+  }
+  return true;
+}
+
+ObsEvent parse_line(const std::string& line, std::size_t line_no) {
+  Cursor c{line, 0, line_no};
+  ObsEvent ev;
+  c.expect('{');
+  bool first = true;
+  while (true) {
+    if (c.peek() == '}') {
+      c.take();
+      break;
+    }
+    if (!first) c.expect(',');
+    first = false;
+    const std::string key = parse_string(c);
+    c.expect(':');
+    const char head = c.peek();
+    if (head == '"') {
+      std::string value = parse_string(c);
+      if (key == "ev") {
+        ev.type = std::move(value);
+      } else {
+        ev.strings.emplace_back(key, std::move(value));
+      }
+    } else if (head == 't' || head == 'f') {
+      if (parse_keyword(c, head == 't' ? "true" : "false")) {
+        ev.bools.emplace_back(key, head == 't');
+      } else {
+        malformed(line_no, "bad literal for key '" + key + "'");
+      }
+    } else if (head == '[') {
+      c.take();
+      std::vector<std::uint64_t> values;
+      if (c.peek() != ']') {
+        values.push_back(parse_uint(c));
+        while (c.peek() == ',') {
+          c.take();
+          values.push_back(parse_uint(c));
+        }
+      }
+      c.expect(']');
+      ev.arrays.emplace_back(key, std::move(values));
+    } else {
+      ev.nums.emplace_back(key, parse_uint(c));
+    }
+  }
+  if (!c.done()) malformed(line_no, "trailing characters after object");
+  if (ev.type.empty()) malformed(line_no, "missing \"ev\" field");
+  return ev;
+}
+
+}  // namespace
+
+std::optional<std::uint64_t> ObsEvent::num(const std::string& key) const {
+  for (const auto& [k, v] : nums) {
+    if (k == key) return v;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t ObsEvent::num_at(const std::string& key) const {
+  const auto v = num(key);
+  if (!v) throw std::out_of_range("ObsEvent: no numeric field '" + key + "'");
+  return *v;
+}
+
+std::optional<std::string> ObsEvent::str(const std::string& key) const {
+  for (const auto& [k, v] : strings) {
+    if (k == key) return v;
+  }
+  return std::nullopt;
+}
+
+std::optional<bool> ObsEvent::flag(const std::string& key) const {
+  for (const auto& [k, v] : bools) {
+    if (k == key) return v;
+  }
+  return std::nullopt;
+}
+
+std::vector<ObsEvent> parse_jsonl(const std::string& text) {
+  std::vector<ObsEvent> out;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    out.push_back(parse_line(line, line_no));
+  }
+  return out;
+}
+
+std::vector<ObsEvent> load_jsonl_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open trace file '" + path + "'");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_jsonl(buf.str());
+}
+
+}  // namespace redhip

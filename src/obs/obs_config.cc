@@ -1,0 +1,15 @@
+#include "obs/obs_config.h"
+
+#include <stdexcept>
+
+namespace redhip {
+
+void ObsConfig::validate() const {
+  if (!enabled) return;
+  if (epoch_refs == 0 && epoch_cycles == 0) {
+    throw std::invalid_argument(
+        "obs: epoch_refs and epoch_cycles cannot both be zero");
+  }
+}
+
+}  // namespace redhip

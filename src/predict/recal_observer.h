@@ -1,0 +1,28 @@
+// RecalObserver — callback interface RedhipTable fires around table
+// rebuilds, so the observability layer can trace recalibration without the
+// predictor depending on it (dependency-free header; src/obs implements it).
+#pragma once
+
+#include <cstdint>
+
+namespace redhip {
+
+class RecalObserver {
+ public:
+  virtual ~RecalObserver() = default;
+
+  // Full (batch / recovery / re-enable) rebuild: begin fires before the
+  // table is cleared with the current occupancy, end fires after the exact
+  // rebuild with the new occupancy and the modeled stall.  Because a
+  // rebuild only removes stale bits, bits_after <= bits_before always —
+  // this is the "false positives are wiped, never added" invariant the
+  // property tests check per recalibration boundary.
+  virtual void on_recal_begin(std::uint64_t bits_before) = 0;
+  virtual void on_recal_end(std::uint64_t bits_after, std::uint64_t stall_cycles) = 0;
+
+  // Rolling mode: one full round-robin pass over the table completed (the
+  // per-chunk rebuilds themselves are too fine-grained to trace).
+  virtual void on_rolling_pass(std::uint64_t bits_set) = 0;
+};
+
+}  // namespace redhip

@@ -82,6 +82,7 @@ Cycles RedhipTable::note_l1_miss_and_maybe_recalibrate(const TagArray& covered) 
     if (rolling_cursor_ == covered.sets()) {
       rolling_cursor_ = 0;
       ++events_.recalibrations;  // one full pass completed
+      if (observer_ != nullptr) observer_->on_rolling_pass(bits_set());
     }
     todo -= chunk;
   }
@@ -89,6 +90,7 @@ Cycles RedhipTable::note_l1_miss_and_maybe_recalibrate(const TagArray& covered) 
 }
 
 Cycles RedhipTable::recalibrate(const TagArray& covered) {
+  if (observer_ != nullptr) observer_->on_recal_begin(bits_set());
   ++events_.recalibrations;
   std::fill(words_.begin(), words_.end(), 0);
   const std::uint64_t sets = covered.sets();
@@ -101,7 +103,9 @@ Cycles RedhipTable::recalibrate(const TagArray& covered) {
   // One cycle recalibrates one set's PT line (decode + hierarchical OR);
   // `banks` sets proceed in parallel.  With the paper's geometry (64Ki sets,
   // 4 banks) this is the quoted 16Ki-cycle stall.
-  return (sets + config_.banks - 1) / config_.banks;
+  const Cycles stall = (sets + config_.banks - 1) / config_.banks;
+  if (observer_ != nullptr) observer_->on_recal_end(bits_set(), stall);
+  return stall;
 }
 
 Cycles RedhipTable::recalibrate_sets(const TagArray& covered,

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "predict/predictor.h"
+#include "predict/recal_observer.h"
 
 namespace redhip {
 
@@ -108,6 +109,13 @@ class RedhipTable final : public LlcPredictor {
     recal_filter_ = std::move(filter);
   }
 
+  // Optional observability hook (src/obs): fires around every full rebuild
+  // — scheduled batch, emergency recovery, or auto-disable re-enable — and
+  // once per completed rolling pass.  The interval == 1 per-eviction set
+  // rebuilds are deliberately unobserved (one callback per eviction would
+  // flood any trace).  Not owned.
+  void set_recal_observer(RecalObserver* observer) { observer_ = observer; }
+
   // --- Introspection -------------------------------------------------------
   const RedhipConfig& config() const { return config_; }
   std::uint64_t index_of(LineAddr line) const { return line & index_mask_; }
@@ -123,6 +131,7 @@ class RedhipTable final : public LlcPredictor {
   std::uint64_t index_mask_;
   const TagArray* covered_ = nullptr;  // see attach_covered()
   RecalChunkFilter recal_filter_;      // see set_recal_chunk_filter()
+  RecalObserver* observer_ = nullptr;  // see set_recal_observer()
   std::vector<std::uint64_t> words_;
   std::uint64_t l1_misses_ = 0;
   std::uint64_t misses_since_recal_ = 0;

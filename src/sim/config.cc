@@ -84,6 +84,7 @@ void HierarchyConfig::validate() const {
   if (auto_disable.enabled) {
     REDHIP_CHECK_MSG(auto_disable.epoch_refs > 0, "epoch must be positive");
   }
+  obs.validate();
   fault.validate();
   if (fault.enabled) {
     const std::uint32_t pt_sites =

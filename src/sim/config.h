@@ -14,6 +14,7 @@
 #include "cache/geometry.h"
 #include "energy/params.h"
 #include "fault/fault.h"
+#include "obs/obs_config.h"
 #include "predict/counting_bloom.h"
 #include "predict/partial_tag.h"
 #include "predict/redhip_table.h"
@@ -107,6 +108,12 @@ struct HierarchyConfig {
     bool enabled = false;
     RecoveryPolicy policy = RecoveryPolicy::kRecalibrate;
   } audit;
+
+  // Observability layer (src/obs): per-epoch metric sampling and the
+  // structured JSONL event trace.  Off by default; when off, the run loops
+  // pay one predicted branch per reference and nothing else.
+  ObsConfig obs;
+
   std::uint64_t seed = 0x5eed;
 
   std::uint32_t num_levels() const {

@@ -1,6 +1,7 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/check.h"
 #include "energy/cacti_lite.h"
@@ -110,6 +111,15 @@ MulticoreSimulator::MulticoreSimulator(
             return drop;
           });
     }
+  }
+
+  // Observability (src/obs): the collector exists only when enabled, and
+  // the recal observer rides the shared-LLC ReDHiP table (the exclusive
+  // hierarchy's per-level tables are not traced).
+  if (config_.obs.enabled) {
+    obs_ = std::make_unique<ObsCollector>(config_.obs, config_.cores,
+                                          config_.fault.enabled);
+    if (llc_redhip_ != nullptr) llc_redhip_->set_recal_observer(obs_.get());
   }
 
   for (CoreId c = 0; c < config_.cores; ++c) {
@@ -412,20 +422,30 @@ bool MulticoreSimulator::audit_bypass(LineAddr line) {
       throw std::runtime_error(
           "invariant violation: predicted-absent line is LLC-resident "
           "(deterministic fault; not retryable)");
-    case RecoveryPolicy::kRecalibrate:
+    case RecoveryPolicy::kRecalibrate: {
       // Emergency recalibration: rebuild the PT exactly from the tag array,
       // restoring the no-false-negative property.  The stall freezes every
       // core and the tag reads + PT writes are priced by the EnergyLedger
       // like any scheduled recalibration.
+      Cycles stall = 0;
       if (llc_redhip_ != nullptr) {
-        const Cycles stall = llc_redhip_->recalibrate(*shared_);
+        stall = llc_redhip_->recalibrate(*shared_);
         ++recovery_recals_;
         recovery_stall_cycles_ += stall;
         recal_stall_cycles_ += stall;
         global_stall_cycles_ += stall;
       }
+      if (obs_ != nullptr) {
+        obs_->emit_recovery(to_string(config_.audit.policy), stall,
+                            invariant_violations_);
+      }
       break;
+    }
     case RecoveryPolicy::kCountOnly:
+      if (obs_ != nullptr) {
+        obs_->emit_recovery(to_string(config_.audit.policy), 0,
+                            invariant_violations_);
+      }
       break;
   }
   return false;  // degrade gracefully: walk the hierarchy instead
@@ -460,6 +480,7 @@ void MulticoreSimulator::evaluate_auto_disable() {
       recal_stall_cycles_ += stall;
       global_stall_cycles_ += stall;
     }
+    if (obs_ != nullptr) obs_->emit_auto_disable(true, 0);
   } else {
     const std::uint64_t misses = events_[0].misses - epoch_start_misses_;
     const std::uint64_t lookups =
@@ -475,6 +496,9 @@ void MulticoreSimulator::evaluate_auto_disable() {
       predictor_active_ = false;
       disabled_epochs_left_ = disable_backoff_;
       disable_backoff_ = std::min(disable_backoff_ * 2, ad.max_backoff_epochs);
+      if (obs_ != nullptr) {
+        obs_->emit_auto_disable(false, disabled_epochs_left_);
+      }
     } else {
       disable_backoff_ = 1;
     }
@@ -797,6 +821,9 @@ void MulticoreSimulator::run_loop(std::uint64_t max_refs_per_core) {
       cs.buf_len =
           static_cast<std::uint32_t>(cs.trace->next_batch(cs.buf.data(), want));
       cs.buf_pos = 0;
+      if (obs_ != nullptr) {
+        obs_->metrics().add(best, ObsCounter::kRefillBatches);
+      }
       if (cs.buf_len == 0) {
         cs.exhausted = true;
         heap_pop_top();
@@ -809,14 +836,17 @@ void MulticoreSimulator::run_loop(std::uint64_t max_refs_per_core) {
       inject_faults();                // PT single-event upsets
     }
     cs.clock += cs.cpi.advance(ref.gap);
+    Cycles ref_lat;
     if constexpr (kPrefetch) {
       const std::uint64_t misses_before = events_[0].misses;
-      cs.clock += access(best, ref);
+      ref_lat = access(best, ref);
+      cs.clock += ref_lat;
       if (events_[0].misses != misses_before) {
         run_prefetches(best, ref);
       }
     } else {
-      cs.clock += access(best, ref);
+      ref_lat = access(best, ref);
+      cs.clock += ref_lat;
     }
     if constexpr (kAutoDisable) {
       if (!predictor_active_) ++predictor_disabled_refs_;
@@ -824,6 +854,7 @@ void MulticoreSimulator::run_loop(std::uint64_t max_refs_per_core) {
         evaluate_auto_disable();
       }
     }
+    if (obs_ != nullptr) obs_note_ref(best, ref_lat, cs);
     if (++cs.refs_done >= max_refs_per_core) {
       cs.exhausted = true;
       heap_pop_top();
@@ -846,15 +877,21 @@ SimResult MulticoreSimulator::run(std::uint64_t max_refs_per_core) {
   const bool auto_disable = config_.auto_disable.enabled && llc_pred_ != nullptr;
   const unsigned mask = (fault ? 4u : 0u) | (prefetch ? 2u : 0u) |
                         (auto_disable ? 1u : 0u);
-  switch (mask) {
-    case 0: run_loop<false, false, false>(max_refs_per_core); break;
-    case 1: run_loop<false, false, true>(max_refs_per_core); break;
-    case 2: run_loop<false, true, false>(max_refs_per_core); break;
-    case 3: run_loop<false, true, true>(max_refs_per_core); break;
-    case 4: run_loop<true, false, false>(max_refs_per_core); break;
-    case 5: run_loop<true, false, true>(max_refs_per_core); break;
-    case 6: run_loop<true, true, false>(max_refs_per_core); break;
-    default: run_loop<true, true, true>(max_refs_per_core); break;
+  obs_begin_run(max_refs_per_core);
+  {
+    // Scoped so run_seconds is accumulated before finalize_result copies
+    // the timings into the result.
+    ScopedTimer timer(obs_ != nullptr ? obs_->run_timer() : nullptr);
+    switch (mask) {
+      case 0: run_loop<false, false, false>(max_refs_per_core); break;
+      case 1: run_loop<false, false, true>(max_refs_per_core); break;
+      case 2: run_loop<false, true, false>(max_refs_per_core); break;
+      case 3: run_loop<false, true, true>(max_refs_per_core); break;
+      case 4: run_loop<true, false, false>(max_refs_per_core); break;
+      case 5: run_loop<true, false, true>(max_refs_per_core); break;
+      case 6: run_loop<true, true, false>(max_refs_per_core); break;
+      default: run_loop<true, true, true>(max_refs_per_core); break;
+    }
   }
   return finalize_result();
 }
@@ -869,48 +906,105 @@ SimResult MulticoreSimulator::run_reference(std::uint64_t max_refs_per_core) {
     if (!cs.exhausted) ++active;
   }
 
-  while (active > 0) {
-    // Deterministic min-clock interleave, ties broken by core id.
-    CoreId best = 0;
-    Cycles best_clock = ~Cycles{0};
-    for (CoreId c = 0; c < config_.cores; ++c) {
-      if (!cores_[c].exhausted && cores_[c].clock < best_clock) {
-        best = c;
-        best_clock = cores_[c].clock;
+  obs_begin_run(max_refs_per_core);
+  {
+    // Scoped so run_seconds is accumulated before finalize_result copies
+    // the timings into the result.
+    ScopedTimer timer(obs_ != nullptr ? obs_->run_timer() : nullptr);
+    while (active > 0) {
+      // Deterministic min-clock interleave, ties broken by core id.
+      CoreId best = 0;
+      Cycles best_clock = ~Cycles{0};
+      for (CoreId c = 0; c < config_.cores; ++c) {
+        if (!cores_[c].exhausted && cores_[c].clock < best_clock) {
+          best = c;
+          best_clock = cores_[c].clock;
+        }
       }
-    }
-    CoreState& cs = cores_[best];
-    MemRef ref;
-    if (!cs.trace->next(ref)) {
-      cs.exhausted = true;
-      --active;
-      continue;
-    }
-    if (injector_) {
-      injector_->maybe_perturb(ref);  // FaultSite::kTraceAddr
-      inject_faults();                // PT single-event upsets
-    }
-    cs.clock += cs.cpi.advance(ref.gap);
-    const std::uint64_t misses_before = events_[0].misses;
-    cs.clock += access(best, ref);
-    if (!prefetchers_.empty() && events_[0].misses != misses_before) {
-      run_prefetches(best, ref);
-    }
-    if (config_.auto_disable.enabled && llc_pred_) {
-      if (!predictor_active_) ++predictor_disabled_refs_;
-      if (++epoch_refs_seen_ >= config_.auto_disable.epoch_refs) {
-        evaluate_auto_disable();
+      CoreState& cs = cores_[best];
+      MemRef ref;
+      if (!cs.trace->next(ref)) {
+        cs.exhausted = true;
+        --active;
+        continue;
       }
-    }
-    if (++cs.refs_done >= max_refs_per_core) {
-      cs.exhausted = true;
-      --active;
+      if (injector_) {
+        injector_->maybe_perturb(ref);  // FaultSite::kTraceAddr
+        inject_faults();                // PT single-event upsets
+      }
+      cs.clock += cs.cpi.advance(ref.gap);
+      const std::uint64_t misses_before = events_[0].misses;
+      const Cycles ref_lat = access(best, ref);
+      cs.clock += ref_lat;
+      if (!prefetchers_.empty() && events_[0].misses != misses_before) {
+        run_prefetches(best, ref);
+      }
+      if (config_.auto_disable.enabled && llc_pred_) {
+        if (!predictor_active_) ++predictor_disabled_refs_;
+        if (++epoch_refs_seen_ >= config_.auto_disable.epoch_refs) {
+          evaluate_auto_disable();
+        }
+      }
+      if (obs_ != nullptr) obs_note_ref(best, ref_lat, cs);
+      if (++cs.refs_done >= max_refs_per_core) {
+        cs.exhausted = true;
+        --active;
+      }
     }
   }
   return finalize_result();
 }
 
+void MulticoreSimulator::obs_begin_run(std::uint64_t max_refs_per_core) {
+  if (obs_ == nullptr) return;
+  ObsRunInfo info;
+  info.cores = config_.cores;
+  info.scheme = to_string(config_.scheme);
+  info.inclusion = to_string(config_.inclusion);
+  info.refs_per_core = max_refs_per_core;
+  info.seed = config_.seed;
+  info.prefetch_degree = config_.prefetch ? config_.prefetcher.degree : 0;
+  info.recal_interval = config_.scheme == Scheme::kRedhip
+                            ? config_.redhip.recal_interval_l1_misses
+                            : 0;
+  info.recal_mode = config_.scheme == Scheme::kRedhip
+                        ? to_string(config_.redhip.recal_mode)
+                        : "none";
+  info.faults_enabled = config_.fault.enabled;
+  obs_->emit_run_begin(info);
+}
+
+ObsSnapshot MulticoreSimulator::obs_snapshot() const {
+  ObsSnapshot s;
+  s.l1_accesses = events_[0].accesses;
+  s.l1_misses = events_[0].misses;
+  if (llc_pred_ != nullptr) {
+    const PredictorEvents& pe = llc_pred_->events();
+    s.lookups = pe.lookups;
+    s.predicted_absent = pe.predicted_absent;
+    s.predicted_present = pe.predicted_present;
+    s.true_positives = pe.true_positives;
+    s.false_positives = pe.false_positives;
+    s.recalibrations = pe.recalibrations;
+  }
+  s.invariant_violations = invariant_violations_;
+  s.pt_occupancy = llc_redhip_ != nullptr ? llc_redhip_->bits_set() : 0;
+  s.predictor_active = predictor_active_;
+  return s;
+}
+
 SimResult MulticoreSimulator::finalize_result() {
+  if (obs_ != nullptr) {
+    // Close the final (possibly partial) epoch at the run's end time — the
+    // slowest core's clock, the same value exec_cycles reports.
+    Cycles end = 0;
+    for (const auto& cs : cores_) end = std::max(end, cs.clock);
+    obs_->finish(end + global_stall_cycles_, obs_snapshot());
+  }
+  const bool time_finalize = obs_ != nullptr && obs_->timing_enabled();
+  const auto finalize_start = time_finalize
+                                  ? std::chrono::steady_clock::now()
+                                  : std::chrono::steady_clock::time_point{};
   SimResult r;
   r.levels = events_;
   if (llc_pred_) {
@@ -957,6 +1051,16 @@ SimResult MulticoreSimulator::finalize_result() {
                           r.memory_accesses + r.memory_writebacks,
                           config_.memory_energy_nj, r.elapsed_seconds,
                           predictor_leakage_w_);
+  if (obs_ != nullptr) {
+    r.epochs = obs_->epochs();
+    r.obs_timing = obs_->timing();
+    if (time_finalize) {
+      r.obs_timing.finalize_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        finalize_start)
+              .count();
+    }
+  }
   return r;
 }
 

@@ -19,6 +19,7 @@
 #include "cache/tag_array.h"
 #include "common/fixed_point.h"
 #include "fault/fault.h"
+#include "obs/collector.h"
 #include "predict/predictor.h"
 #include "prefetch/stride_prefetcher.h"
 #include "sim/config.h"
@@ -69,6 +70,8 @@ class MulticoreSimulator {
   }
   std::uint64_t recovery_recals_for_test() const { return recovery_recals_; }
   const HierarchyConfig& config() const { return config_; }
+  // Null unless config.obs.enabled (see src/obs/collector.h).
+  const ObsCollector* obs_for_test() const { return obs_.get(); }
 
  private:
   // How many references a core pulls from its TraceSource per refill.  256
@@ -167,6 +170,22 @@ class MulticoreSimulator {
   // Prefetch handling (inclusive only).
   void run_prefetches(CoreId core, const MemRef& ref);
 
+  // --- Observability (src/obs; obs_ is null when disabled) -------------------
+  // Emit the run_begin event (both engines, config-derived fields only).
+  void obs_begin_run(std::uint64_t max_refs_per_core);
+  // Snapshot the counters the epoch series differences (cold path: called
+  // once per epoch boundary and once at the end of the run).
+  ObsSnapshot obs_snapshot() const;
+  // Per-reference hook, shared verbatim by the fast loops and the reference
+  // engine so both produce the same epoch series and event stream.  `lat`
+  // is the reference's access latency, `cs` the executing core.
+  void obs_note_ref(CoreId core, Cycles lat, const CoreState& cs) {
+    const Cycles now = cs.clock + global_stall_cycles_;
+    if (obs_->note_ref(core, lat, now)) {
+      obs_->close_epoch(now, obs_snapshot());
+    }
+  }
+
   // --- Fast-path run machinery ----------------------------------------------
   // The run loop specialized on the feature mask; run() dispatches once per
   // run to the instantiation matching (injector, prefetchers, auto-disable).
@@ -244,6 +263,10 @@ class MulticoreSimulator {
   std::uint64_t invariant_violations_ = 0;
   std::uint64_t recovery_recals_ = 0;
   Cycles recovery_stall_cycles_ = 0;
+
+  // Observability collector; null when config.obs.enabled is false, so the
+  // disabled hot-path cost is one predicted pointer test per reference.
+  std::unique_ptr<ObsCollector> obs_;
 
   std::vector<LevelEvents> events_;
   PrefetchEvents prefetch_events_;  // simulator-level prefetch accounting

@@ -13,7 +13,7 @@ bool stats_identical(const SimResult& a, const SimResult& b) {
          a.total_refs == b.total_refs &&
          a.predictor_disabled_refs == b.predictor_disabled_refs &&
          a.fault == b.fault && a.elapsed_seconds == b.elapsed_seconds &&
-         a.energy == b.energy;
+         a.energy == b.energy && a.epochs == b.epochs;
 }
 
 }  // namespace redhip

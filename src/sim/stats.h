@@ -7,6 +7,8 @@
 #include "common/types.h"
 #include "energy/ledger.h"
 #include "fault/fault.h"
+#include "obs/epoch.h"
+#include "obs/timing.h"
 
 namespace redhip {
 
@@ -35,13 +37,26 @@ struct SimResult {
 
   EnergyBreakdown energy;
 
+  // Per-epoch metric series from the observability layer (src/obs); empty
+  // unless HierarchyConfig::obs.enabled.  Deterministic — part of the
+  // engine-equivalence contract and of stats_identical.
+  EpochSeries epochs;
+
   // Host-side throughput, filled by run_spec (not by the simulator): wall
   // time of trace construction + simulator construction + run, and the
   // simulated references per host second it implies.  Excluded from
   // stats_identical — two bit-identical runs never take identical wall time.
   double host_seconds = 0.0;
   double host_mrefs_per_s = 0.0;
+  // Host-side phase timings from the observability layer; excluded from
+  // stats_identical for the same reason.
+  ObsTiming obs_timing;
 
+  // Rate conventions for degenerate runs: a level with zero accesses has
+  // hit rate 0.0 *and* miss rate 0.0 (nothing happened — neither "all hit"
+  // nor "all missed"), and a run with zero L1 misses has off-chip fraction
+  // 0.0.  An empty `levels` vector (default-constructed result) follows the
+  // same rule instead of being undefined behavior.
   double hit_rate(std::size_t level) const {
     const auto& ev = levels.at(level);
     return ev.accesses == 0
@@ -49,9 +64,13 @@ struct SimResult {
                : static_cast<double>(ev.hits) /
                      static_cast<double>(ev.accesses);
   }
-  double l1_miss_rate() const { return 1.0 - hit_rate(0); }
+  double l1_miss_rate() const {
+    if (levels.empty() || levels.front().accesses == 0) return 0.0;
+    return 1.0 - hit_rate(0);
+  }
   // Fraction of L1 misses that missed the whole hierarchy.
   double offchip_fraction() const {
+    if (levels.empty()) return 0.0;
     const std::uint64_t m = levels.front().misses;
     return m == 0 ? 0.0
                   : static_cast<double>(demand_memory_accesses) /

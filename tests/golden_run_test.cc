@@ -1,0 +1,100 @@
+// Golden-run regression corpus: small reference runs (100k refs/core,
+// three workloads x base/redhip, obs enabled) whose full json_report
+// output is committed under tests/golden/.  Any change to simulated
+// behavior — cache policy, predictor accounting, energy pricing, epoch
+// series — shows up as a diff against the corpus, which separates
+// deliberate model changes (regenerate the corpus, review the diff) from
+// accidental ones (fix the bug).
+//
+// Regenerate after an intentional change with:
+//   REDHIP_UPDATE_GOLDEN=1 ./golden_run_test
+// then review `git diff tests/golden/`.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/json_report.h"
+#include "harness/run.h"
+
+#ifndef REDHIP_GOLDEN_DIR
+#error "REDHIP_GOLDEN_DIR must point at the committed corpus directory"
+#endif
+
+namespace redhip {
+namespace {
+
+struct GoldenCell {
+  BenchmarkId bench;
+  Scheme scheme;
+};
+
+const std::vector<GoldenCell>& golden_cells() {
+  static const std::vector<GoldenCell> cells = {
+      {BenchmarkId::kMcf, Scheme::kBase},
+      {BenchmarkId::kMcf, Scheme::kRedhip},
+      {BenchmarkId::kMilc, Scheme::kBase},
+      {BenchmarkId::kMilc, Scheme::kRedhip},
+      {BenchmarkId::kAstar, Scheme::kBase},
+      {BenchmarkId::kAstar, Scheme::kRedhip},
+  };
+  return cells;
+}
+
+std::string golden_path(const GoldenCell& cell) {
+  return std::string(REDHIP_GOLDEN_DIR) + "/" + to_string(cell.bench) + "-" +
+         to_string(cell.scheme) + ".json";
+}
+
+std::string run_cell(const GoldenCell& cell) {
+  RunSpec spec;
+  spec.bench = cell.bench;
+  spec.scheme = cell.scheme;
+  spec.scale = 8;
+  spec.refs_per_core = 100'000;
+  spec.seed = 42;
+  spec.tweak = [](HierarchyConfig& hc) {
+    // Epoch series included so the corpus also pins the observability
+    // accounting (8 epochs over 8 cores x 100k refs).
+    hc.obs.enabled = true;
+    hc.obs.epoch_refs = 100'000;
+  };
+  // A golden line ends like a trace line would: newline-terminated so the
+  // committed files are POSIX text files and diffs stay clean.
+  return to_json(run_spec(spec)) + "\n";
+}
+
+bool updating_golden() {
+  const char* v = std::getenv("REDHIP_UPDATE_GOLDEN");
+  return v != nullptr && std::string(v) == "1";
+}
+
+TEST(GoldenRun, ReportsMatchTheCommittedCorpus) {
+  for (const GoldenCell& cell : golden_cells()) {
+    const std::string path = golden_path(cell);
+    const std::string fresh = run_cell(cell);
+    if (updating_golden()) {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      ASSERT_TRUE(out.good()) << "cannot write " << path;
+      out << fresh;
+      continue;
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing golden file " << path
+        << " — regenerate with REDHIP_UPDATE_GOLDEN=1 ./golden_run_test";
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    EXPECT_EQ(fresh, ss.str())
+        << "simulated behavior diverged from the corpus for "
+        << to_string(cell.bench) << "/" << to_string(cell.scheme)
+        << "; if the change is intentional, regenerate with "
+        << "REDHIP_UPDATE_GOLDEN=1 ./golden_run_test and review the diff";
+  }
+}
+
+}  // namespace
+}  // namespace redhip

@@ -1,0 +1,60 @@
+// Divide-by-zero conventions of the SimResult rate accessors.  A level
+// with zero accesses reports hit rate 0.0 *and* miss rate 0.0 (nothing
+// happened — neither "all hit" nor "all missed"), a run with zero L1
+// misses reports off-chip fraction 0.0, and a default-constructed result
+// (empty `levels`) follows the same rules instead of crashing.  These pin
+// down two former inconsistencies: l1_miss_rate() used to report 1.0 for a
+// zero-access run, and offchip_fraction() read levels.front() without an
+// emptiness check.
+#include <gtest/gtest.h>
+
+#include "sim/stats.h"
+
+namespace redhip {
+namespace {
+
+TEST(StatsConventions, DefaultConstructedResultIsAllZeros) {
+  const SimResult r;
+  EXPECT_TRUE(r.levels.empty());
+  EXPECT_DOUBLE_EQ(r.l1_miss_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(r.offchip_fraction(), 0.0);
+}
+
+TEST(StatsConventions, ZeroAccessLevelHasZeroHitAndMissRate) {
+  SimResult r;
+  r.levels.resize(2);  // all counters zero
+  EXPECT_DOUBLE_EQ(r.hit_rate(0), 0.0);
+  EXPECT_DOUBLE_EQ(r.hit_rate(1), 0.0);
+  EXPECT_DOUBLE_EQ(r.l1_miss_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(r.offchip_fraction(), 0.0);
+}
+
+TEST(StatsConventions, RatesArePlainRatiosWhenDefined) {
+  SimResult r;
+  r.levels.resize(2);
+  r.levels[0].accesses = 100;
+  r.levels[0].hits = 75;
+  r.levels[0].misses = 25;
+  r.demand_memory_accesses = 5;
+  EXPECT_DOUBLE_EQ(r.hit_rate(0), 0.75);
+  EXPECT_DOUBLE_EQ(r.l1_miss_rate(), 0.25);
+  EXPECT_DOUBLE_EQ(r.offchip_fraction(), 0.2);  // 5 of 25 misses
+}
+
+TEST(StatsConventions, ZeroMissRunHasZeroOffchipFraction) {
+  SimResult r;
+  r.levels.resize(1);
+  r.levels[0].accesses = 100;
+  r.levels[0].hits = 100;
+  r.levels[0].misses = 0;
+  EXPECT_DOUBLE_EQ(r.l1_miss_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(r.offchip_fraction(), 0.0);
+}
+
+TEST(StatsConventions, HitRateOutOfRangeLevelThrows) {
+  const SimResult r;
+  EXPECT_THROW(r.hit_rate(0), std::out_of_range);  // levels.at()
+}
+
+}  // namespace
+}  // namespace redhip
