@@ -12,8 +12,8 @@
 #include <cstdio>
 
 #include "common/cli.h"
-#include "harness/experiment.h"
 #include "harness/report.h"
+#include "sweep/sweep.h"
 
 using namespace redhip;
 
@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
   TablePrinter t({"depth", "Oracle speedup", "ReDHiP speedup",
                   "ReDHiP dyn saving", "walk latency/offchip miss"});
 
+  SweepStats total_stats;
   for (std::uint32_t depth = 2; depth <= 5; ++depth) {
     const std::uint32_t scale = opts.scale;
     auto reshape = [depth, scale](HierarchyConfig& c) {
@@ -40,7 +41,12 @@ int main(int argc, char** argv) {
         {"Oracle", Scheme::kOracle, InclusionPolicy::kInclusive, false,
          reshape},
     };
-    const auto results = run_matrix(opts, columns);
+    SweepStats sweep_stats;
+    const auto results = sweep_matrix(opts, columns, &sweep_stats);
+    total_stats.cells += sweep_stats.cells;
+    total_stats.cache_hits += sweep_stats.cache_hits;
+    total_stats.simulated += sweep_stats.simulated;
+    total_stats.wall_seconds += sweep_stats.wall_seconds;
 
     std::vector<double> red_speed, oracle_speed, red_save;
     double walk = 0.0;
@@ -71,5 +77,10 @@ int main(int argc, char** argv) {
   std::printf(
       "\nexpected: monotone growth — the deeper the hierarchy, the more a "
       "skipped walk is worth\n");
+  if (!opts.cache_dir.empty()) {
+    std::fprintf(stderr, "[sweep] cells=%zu cache_hits=%zu simulated=%zu\n",
+                 total_stats.cells, total_stats.cache_hits,
+                 total_stats.simulated);
+  }
   return 0;
 }

@@ -12,8 +12,8 @@
 #include <cstdio>
 
 #include "common/cli.h"
-#include "harness/experiment.h"
 #include "harness/report.h"
+#include "sweep/sweep.h"
 
 using namespace redhip;
 
@@ -54,7 +54,10 @@ int main(int argc, char** argv) {
     };
     columns.push_back(std::move(col));
   }
-  const auto results = run_matrix(opts, columns);
+  // The sweep engine: same matrix, plus the resumable result cache when
+  // --cache-dir is set (warm cells load instead of re-simulating).
+  SweepStats sweep_stats;
+  const auto results = sweep_matrix(opts, columns, &sweep_stats);
 
   std::printf(
       "Figure 11 — ReDHiP dynamic energy vs PT size, normalized to Base\n"
@@ -84,5 +87,10 @@ int main(int argc, char** argv) {
   }
   std::printf(
       "\npaper shape: marginal gains beyond 512K; 64K nearly useless\n");
+  if (!opts.cache_dir.empty()) {
+    std::fprintf(stderr, "[sweep] cells=%zu cache_hits=%zu simulated=%zu\n",
+                 sweep_stats.cells, sweep_stats.cache_hits,
+                 sweep_stats.simulated);
+  }
   return 0;
 }

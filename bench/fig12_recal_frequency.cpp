@@ -10,8 +10,8 @@
 #include <cstdio>
 
 #include "common/cli.h"
-#include "harness/experiment.h"
 #include "harness/report.h"
+#include "sweep/sweep.h"
 
 using namespace redhip;
 
@@ -54,7 +54,8 @@ int main(int argc, char** argv) {
     };
     columns.push_back(std::move(col));
   }
-  const auto results = run_matrix(opts, columns);
+  SweepStats sweep_stats;
+  const auto results = sweep_matrix(opts, columns, &sweep_stats);
 
   std::printf(
       "Figure 12 — ReDHiP dynamic energy vs recalibration interval, "
@@ -83,5 +84,10 @@ int main(int argc, char** argv) {
   }
   std::printf(
       "\npaper shape: <=1M all similar; cliff from 1M to 100M; inf worst\n");
+  if (!opts.cache_dir.empty()) {
+    std::fprintf(stderr, "[sweep] cells=%zu cache_hits=%zu simulated=%zu\n",
+                 sweep_stats.cells, sweep_stats.cache_hits,
+                 sweep_stats.simulated);
+  }
   return 0;
 }

@@ -1,0 +1,132 @@
+// sweep — declarative design-space exploration with a resumable result
+// cache.
+//
+//   sweep --axis workload=mcf,astar --axis table-size=2M,512K,64K
+//         --cache-dir sweep-cache --scale 32 --refs 20000
+//
+// Axes (repeat --axis to add dimensions; the cross-product runs):
+//   workload, scheme, inclusion, prefetch, table-size, recal-interval,
+//   depth, llc-capacity, scale, refs, seed
+//
+// Every completed cell is persisted to --cache-dir keyed by its content
+// address, so re-running (or resuming an interrupted sweep) simulates only
+// the missing cells; --resume=0 ignores warm entries, --require-cache fails
+// (exit 1) if anything had to simulate — the CI freshness check.  --report
+// writes the JSON report (--csv switches the printed tables and the report
+// to CSV).
+#include <algorithm>
+#include <cstdio>
+
+#include "common/cli.h"
+#include "harness/report.h"
+#include "sweep/aggregate.h"
+#include "sweep/axes.h"
+#include "sweep/sweep.h"
+
+using namespace redhip;
+
+int main(int argc, char** argv) {
+  CliOptions cli(argc, argv);
+  const ExperimentOptions opts = ExperimentOptions::parse(cli);
+
+  SweepSpec spec;
+  spec.base.scale = opts.scale;
+  spec.base.refs_per_core = opts.refs_per_core;
+  spec.base.seed = opts.seed;
+  spec.base.engine = opts.engine;
+  // The base machine runs ReDHiP: sweeping a predictor knob (table-size,
+  // recal-interval) without a scheme axis would otherwise measure a machine
+  // that never touches the knob.  A scheme axis overrides this per cell.
+  spec.base.scheme = Scheme::kRedhip;
+  for (const std::string& axis : cli.get_all("axis")) {
+    spec.axes.push_back(make_named_axis(axis, opts));
+  }
+  if (spec.axes.empty()) {
+    // Default sweep: every workload under Base vs ReDHiP — the smallest
+    // cross-product that exercises both the cache and the Pareto report.
+    spec.axes.push_back(make_named_axis("workload=all", opts));
+    spec.axes.push_back(make_named_axis("scheme=Base,ReDHiP", opts));
+  }
+
+  SweepRunOptions ro;
+  ro.cache_dir = opts.cache_dir;
+  ro.resume = opts.resume;
+  ro.jobs = opts.jobs;
+  const SweepOutcome out = run_sweep(spec, ro);
+
+  std::printf("sweep: cells=%zu cache_hits=%zu simulated=%zu wall=%.2fs\n",
+              out.stats.cells, out.stats.cache_hits, out.stats.simulated,
+              out.stats.wall_seconds);
+
+  // Per-axis sensitivity: the headline metrics averaged over every other
+  // axis — the quick read on which knob matters.
+  for (std::size_t a = 0; a < out.axis_names.size(); ++a) {
+    if (out.axis_labels[a].size() < 2) continue;
+    const SensitivityTable dyn =
+        sensitivity_table(out, a, metric_dynamic_energy_j);
+    const SensitivityTable total =
+        sensitivity_table(out, a, metric_total_energy_j);
+    const SensitivityTable cycles = sensitivity_table(out, a, metric_exec_cycles);
+    std::printf("\nsensitivity to %s (mean over all other axes, %zu cells "
+                "per row)\n",
+                dyn.axis.c_str(), dyn.rows.empty() ? 0 : dyn.rows[0].cells);
+    TablePrinter t({dyn.axis, "dyn energy (J)", "total energy (J)",
+                    "exec cycles"});
+    for (std::size_t v = 0; v < dyn.rows.size(); ++v) {
+      t.add_row({dyn.rows[v].label, fixed(dyn.rows[v].mean, 6),
+                 fixed(total.rows[v].mean, 6),
+                 fixed(cycles.rows[v].mean, 0)});
+    }
+    if (opts.csv) {
+      t.print_csv();
+    } else {
+      t.print();
+    }
+  }
+
+  // Pareto front over (speedup, total-energy ratio) when a scheme axis
+  // includes Base to compare against.
+  for (std::size_t a = 0; a < out.axis_names.size(); ++a) {
+    if (out.axis_names[a] != "scheme") continue;
+    const auto& labels = out.axis_labels[a];
+    const auto base_it = std::find(labels.begin(), labels.end(), "Base");
+    if (base_it == labels.end() || labels.size() < 2) break;
+    const std::size_t base_index =
+        static_cast<std::size_t>(base_it - labels.begin());
+    const std::vector<ParetoPoint> points = pareto_vs_base(out, a, base_index);
+    std::printf("\nPareto front over (speedup, total-energy ratio) vs Base\n");
+    TablePrinter t({"cell", "speedup", "total energy", "pareto"});
+    for (const ParetoPoint& p : points) {
+      std::string label;
+      for (const std::string& l : out.cells[p.cell_index].labels) {
+        if (!label.empty()) label += '/';
+        label += l;
+      }
+      t.add_row({label, pct_delta(p.speedup), pct(p.total_energy_ratio),
+                 p.on_front ? "*" : ""});
+    }
+    if (opts.csv) {
+      t.print_csv();
+    } else {
+      t.print();
+    }
+    break;
+  }
+
+  const std::string report = cli.get("report", "");
+  if (!report.empty()) {
+    const std::string body =
+        opts.csv ? sweep_report_csv(out) : sweep_report_json(out);
+    write_text_file(report, body).throw_if_error();
+    std::printf("\nreport written to %s\n", report.c_str());
+  }
+
+  if (cli.get_bool("require-cache", false) && out.stats.simulated > 0) {
+    std::fprintf(stderr,
+                 "--require-cache: %zu of %zu cells had to simulate (cache "
+                 "cold, stale, or corrupt)\n",
+                 out.stats.simulated, out.stats.cells);
+    return 1;
+  }
+  return 0;
+}

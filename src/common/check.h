@@ -35,8 +35,13 @@ namespace redhip::internal {
   } while (0)
 
 #ifdef NDEBUG
-#define REDHIP_DCHECK(expr) \
-  do {                      \
+// Never evaluated (false && short-circuits, and the whole statement folds
+// away), but the expression still compiles and its operands count as used —
+// a variable referenced only by a DCHECK must not become -Wunused-variable
+// in Release.
+#define REDHIP_DCHECK(expr)                  \
+  do {                                       \
+    static_cast<void>(false && (expr));      \
   } while (0)
 #else
 #define REDHIP_DCHECK(expr) REDHIP_CHECK(expr)

@@ -24,6 +24,8 @@ ExperimentOptions ExperimentOptions::parse(const CliOptions& cli) {
   o.engine = engine == "fast" ? SimEngine::kFast : SimEngine::kReference;
   o.trace_events = cli.get("trace-events", "");
   o.obs_epoch_refs = cli.get_uint64("obs-epoch", 100'000);
+  o.cache_dir = cli.get("cache-dir", "");
+  o.resume = cli.get_bool("resume", true);
   REDHIP_CHECK_MSG(o.obs_epoch_refs > 0, "--obs-epoch must be positive");
   const std::string bench = cli.get("bench", "");
   if (bench.empty()) {
@@ -49,7 +51,7 @@ std::string trace_file_name(BenchmarkId bench, const std::string& column,
   return name + ".jsonl";
 }
 
-double estimated_run_cost(BenchmarkId bench, const SchemeColumn& column) {
+double estimated_run_cost(BenchmarkId bench, Scheme scheme, bool prefetch) {
   // Working-set size is the dominant wall-time predictor: big footprints
   // miss deeper and walk more tag arrays per reference.  kMix runs one SPEC
   // profile per core, so charge it the mean SPEC footprint.
@@ -64,10 +66,14 @@ double estimated_run_cost(BenchmarkId bench, const SchemeColumn& column) {
   }
   double cost = ws;
   // Predictor schemes pay lookup/update work on every LLC-bound access.
-  if (column.scheme != Scheme::kBase) cost *= 1.3;
+  if (scheme != Scheme::kBase) cost *= 1.3;
   // The stride prefetcher adds issue + extra hierarchy traffic.
-  if (column.prefetch) cost *= 1.15;
+  if (prefetch) cost *= 1.15;
   return cost;
+}
+
+double estimated_run_cost(BenchmarkId bench, const SchemeColumn& column) {
+  return estimated_run_cost(bench, column.scheme, column.prefetch);
 }
 
 std::vector<std::vector<SimResult>> run_matrix(

@@ -27,13 +27,21 @@ struct ExperimentOptions {
   // configuration).
   std::string trace_events;
   std::uint64_t obs_epoch_refs = 100'000;
+  // Sweep result cache (src/sweep): when `cache_dir` names a directory,
+  // benches running through sweep_matrix/run_sweep persist every completed
+  // cell there and load warm cells instead of re-simulating.  `resume`
+  // (default on) controls whether existing entries are trusted; with
+  // --resume=0 every cell re-simulates but still refreshes the cache.
+  // Empty = no cache (the default — identical behaviour to run_matrix).
+  std::string cache_dir;
+  bool resume = true;
 
   // Parses --scale/--refs/--seed/--csv/--jobs/--bench/--engine plus
-  // --trace-events/--obs-epoch (or the REDHIP_BENCH_* environment
-  // equivalents).  --bench limits the workload list to one named benchmark;
-  // --engine=reference selects the oracle run loop.  refs and seed are
-  // parsed with full 64-bit range (a seed is an arbitrary u64, and ref
-  // counts past 2^31 are legitimate).
+  // --trace-events/--obs-epoch and --cache-dir/--resume (or the
+  // REDHIP_BENCH_* environment equivalents).  --bench limits the workload
+  // list to one named benchmark; --engine=reference selects the oracle run
+  // loop.  refs and seed are parsed with full 64-bit range (a seed is an
+  // arbitrary u64, and ref counts past 2^31 are legitimate).
   static ExperimentOptions parse(const CliOptions& cli);
 };
 
@@ -54,13 +62,17 @@ struct SchemeColumn {
   Scheme scheme = Scheme::kBase;
   InclusionPolicy inclusion = InclusionPolicy::kInclusive;
   bool prefetch = false;
-  std::function<void(HierarchyConfig&)> tweak;
+  // The default initializer keeps two-element aggregate inits like
+  // {"Base", Scheme::kBase} clean under -Wmissing-field-initializers.
+  std::function<void(HierarchyConfig&)> tweak = nullptr;
 };
 
 // Relative wall-time estimate for one (benchmark, column) run.  Only the
 // *ordering* matters — it drives longest-job-first submission in
-// run_matrix so a heavyweight run doesn't start last and leave the pool
-// idle at the tail.  Correctness never depends on it.
+// run_matrix (and in the sweep executor) so a heavyweight run doesn't
+// start last and leave the pool idle at the tail.  Correctness never
+// depends on it.
+double estimated_run_cost(BenchmarkId bench, Scheme scheme, bool prefetch);
 double estimated_run_cost(BenchmarkId bench, const SchemeColumn& column);
 
 // Aggregate host-side timing for one run_matrix call.

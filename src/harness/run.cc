@@ -6,13 +6,18 @@
 
 namespace redhip {
 
-SimResult run_spec(const RunSpec& spec) {
-  const auto start = std::chrono::steady_clock::now();
+HierarchyConfig resolved_config(const RunSpec& spec) {
   HierarchyConfig config =
       HierarchyConfig::scaled(spec.scale, spec.scheme, spec.inclusion);
   config.prefetch = spec.prefetch;
   config.seed = spec.seed;
   if (spec.tweak) spec.tweak(config);
+  return config;
+}
+
+SimResult run_spec(const RunSpec& spec) {
+  const auto start = std::chrono::steady_clock::now();
+  HierarchyConfig config = resolved_config(spec);
 
   std::vector<std::unique_ptr<TraceSource>> traces;
   std::vector<std::uint32_t> cpis;
@@ -36,6 +41,10 @@ SimResult run_spec(const RunSpec& spec) {
 
 Comparison compare(const SimResult& base, const SimResult& x) {
   REDHIP_CHECK(base.exec_cycles > 0 && x.exec_cycles > 0);
+  // The energy ratios below all guard a zero denominator; the speedup must
+  // too, or a hand-built/corrupt comparand silently puts inf into reports.
+  REDHIP_CHECK_MSG(base.total_core_cycles > 0 && x.total_core_cycles > 0,
+                   "compare() requires non-zero total_core_cycles");
   Comparison c;
   // Multiprogrammed performance: aggregate core time (average per-core
   // speedup), not the slowest core — one unlucky core would otherwise mask

@@ -32,6 +32,12 @@ struct RunSpec {
   std::function<void(HierarchyConfig&)> tweak;
 };
 
+// The fully-resolved machine `spec` would simulate: scaled geometry, then
+// the spec's prefetch/seed fields, then the tweak hook.  run_spec builds
+// exactly this config; the sweep result cache hashes it (together with the
+// workload identity) as the content address of the run.
+HierarchyConfig resolved_config(const RunSpec& spec);
+
 // Build the machine and the per-core traces for `spec` and run it.  Fills
 // SimResult::host_seconds / host_mrefs_per_s with the wall time of the
 // whole run (trace + simulator construction + simulation).

@@ -1,0 +1,168 @@
+#include "sweep/aggregate.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace redhip {
+
+double metric_dynamic_energy_j(const SweepCell& cell) {
+  return cell.result.energy.dynamic_total_j();
+}
+double metric_total_energy_j(const SweepCell& cell) {
+  return cell.result.energy.total_j();
+}
+double metric_exec_cycles(const SweepCell& cell) {
+  return static_cast<double>(cell.result.exec_cycles);
+}
+
+SensitivityTable sensitivity_table(const SweepOutcome& outcome,
+                                   std::size_t axis_index,
+                                   const CellMetric& metric) {
+  REDHIP_CHECK(axis_index < outcome.axis_labels.size());
+  SensitivityTable table;
+  table.axis = outcome.axis_names[axis_index];
+  table.rows.resize(outcome.axis_labels[axis_index].size());
+  for (std::size_t v = 0; v < table.rows.size(); ++v) {
+    table.rows[v].label = outcome.axis_labels[axis_index][v];
+  }
+  for (std::size_t i = 0; i < outcome.cells.size(); ++i) {
+    const SweepCell& cell = outcome.cells[i];
+    SensitivityRow& row = table.rows[cell.coord[axis_index]];
+    row.mean += metric(cell);
+    ++row.cells;
+  }
+  for (SensitivityRow& row : table.rows) {
+    if (row.cells > 0) row.mean /= static_cast<double>(row.cells);
+  }
+  return table;
+}
+
+std::vector<ParetoPoint> pareto_vs_base(const SweepOutcome& outcome,
+                                        std::size_t axis_index,
+                                        std::size_t base_value_index) {
+  REDHIP_CHECK(axis_index < outcome.axis_labels.size());
+  REDHIP_CHECK(base_value_index < outcome.axis_labels[axis_index].size());
+  std::vector<ParetoPoint> points;
+  for (std::size_t i = 0; i < outcome.cells.size(); ++i) {
+    const SweepCell& cell = outcome.cells[i];
+    if (cell.coord[axis_index] == base_value_index) continue;
+    std::vector<std::size_t> base_coord = cell.coord;
+    base_coord[axis_index] = base_value_index;
+    const SweepCell& base = outcome.cells[outcome.cell_index(base_coord)];
+    const Comparison cmp = compare(base.result, cell.result);
+    points.push_back({i, cmp.speedup, cmp.total_energy_ratio, false});
+  }
+  mark_pareto_front(points);
+  return points;
+}
+
+void mark_pareto_front(std::vector<ParetoPoint>& points) {
+  for (ParetoPoint& p : points) {
+    p.on_front = true;
+    for (const ParetoPoint& q : points) {
+      const bool no_worse = q.speedup >= p.speedup &&
+                            q.total_energy_ratio <= p.total_energy_ratio;
+      const bool better = q.speedup > p.speedup ||
+                          q.total_energy_ratio < p.total_energy_ratio;
+      if (no_worse && better) {
+        p.on_front = false;
+        break;
+      }
+    }
+  }
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+std::string hex_key(std::uint64_t key) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(key));
+  return buf;
+}
+
+void append_cell_metrics_json(std::ostringstream& os, const SweepCell& cell) {
+  const SimResult& r = cell.result;
+  os << "\"total_refs\":" << r.total_refs
+     << ",\"exec_cycles\":" << r.exec_cycles
+     << ",\"total_core_cycles\":" << r.total_core_cycles
+     << ",\"dynamic_energy_j\":" << r.energy.dynamic_total_j()
+     << ",\"total_energy_j\":" << r.energy.total_j()
+     << ",\"l1_miss_rate\":" << r.l1_miss_rate()
+     << ",\"offchip_fraction\":" << r.offchip_fraction();
+}
+
+}  // namespace
+
+std::string sweep_report_json(const SweepOutcome& outcome) {
+  std::ostringstream os;
+  os << "{\"schema_version\":1,\"axes\":[";
+  for (std::size_t a = 0; a < outcome.axis_names.size(); ++a) {
+    if (a > 0) os << ',';
+    os << "{\"name\":\"" << json_escape(outcome.axis_names[a])
+       << "\",\"values\":[";
+    for (std::size_t v = 0; v < outcome.axis_labels[a].size(); ++v) {
+      if (v > 0) os << ',';
+      os << '"' << json_escape(outcome.axis_labels[a][v]) << '"';
+    }
+    os << "]}";
+  }
+  os << "],\"cells\":[";
+  for (std::size_t i = 0; i < outcome.cells.size(); ++i) {
+    const SweepCell& cell = outcome.cells[i];
+    if (i > 0) os << ',';
+    os << "{\"labels\":[";
+    for (std::size_t a = 0; a < cell.labels.size(); ++a) {
+      if (a > 0) os << ',';
+      os << '"' << json_escape(cell.labels[a]) << '"';
+    }
+    os << "],\"key\":\"" << hex_key(cell.key) << "\",\"from_cache\":"
+       << (cell.from_cache ? "true" : "false") << ',';
+    append_cell_metrics_json(os, cell);
+    os << '}';
+  }
+  os << "],\"stats\":{\"cells\":" << outcome.stats.cells
+     << ",\"cache_hits\":" << outcome.stats.cache_hits
+     << ",\"simulated\":" << outcome.stats.simulated
+     << ",\"wall_seconds\":" << outcome.stats.wall_seconds << "}}";
+  return os.str();
+}
+
+std::string sweep_report_csv(const SweepOutcome& outcome) {
+  std::ostringstream os;
+  for (const std::string& name : outcome.axis_names) os << name << ',';
+  os << "key,from_cache,total_refs,exec_cycles,total_core_cycles,"
+        "dynamic_energy_j,total_energy_j,l1_miss_rate,offchip_fraction\n";
+  for (const SweepCell& cell : outcome.cells) {
+    for (const std::string& label : cell.labels) os << label << ',';
+    const SimResult& r = cell.result;
+    os << hex_key(cell.key) << ',' << (cell.from_cache ? 1 : 0) << ','
+       << r.total_refs << ',' << r.exec_cycles << ','
+       << r.total_core_cycles << ',' << r.energy.dynamic_total_j() << ','
+       << r.energy.total_j() << ',' << r.l1_miss_rate() << ','
+       << r.offchip_fraction() << '\n';
+  }
+  return os.str();
+}
+
+Status write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out ||
+      !out.write(content.data(), static_cast<std::streamsize>(content.size()))) {
+    return Status(StatusCode::kInternal, "cannot write " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace redhip

@@ -1,0 +1,64 @@
+// Aggregation over a completed sweep: per-axis sensitivity tables, the
+// Pareto front over (speedup, total-energy ratio) against a baseline axis
+// value, and machine-readable JSON/CSV reports.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sweep/sweep.h"
+
+namespace redhip {
+
+using CellMetric = std::function<double(const SweepCell&)>;
+
+// Stock metrics.
+double metric_dynamic_energy_j(const SweepCell& cell);
+double metric_total_energy_j(const SweepCell& cell);
+double metric_exec_cycles(const SweepCell& cell);
+
+struct SensitivityRow {
+  std::string label;   // the axis value
+  double mean = 0.0;   // mean metric over every cell with that value
+  std::size_t cells = 0;
+};
+struct SensitivityTable {
+  std::string axis;
+  std::vector<SensitivityRow> rows;  // one per axis value, in axis order
+};
+
+// How the sweep responds to one axis: the metric averaged over every other
+// axis, per value of `axis_index`.
+SensitivityTable sensitivity_table(const SweepOutcome& outcome,
+                                   std::size_t axis_index,
+                                   const CellMetric& metric);
+
+struct ParetoPoint {
+  std::size_t cell_index = 0;        // into outcome.cells
+  double speedup = 1.0;              // vs the baseline cell
+  double total_energy_ratio = 1.0;   // vs the baseline cell
+  bool on_front = false;
+};
+
+// Compare every cell against the cell that shares all its coordinates
+// except `axis_index`, where the baseline sits at `base_value_index`
+// (typically the scheme axis' "Base").  Baseline cells themselves are not
+// emitted.  Then mark the Pareto front: a point is on the front iff no
+// other point has >= speedup and <= energy ratio with at least one strict.
+std::vector<ParetoPoint> pareto_vs_base(const SweepOutcome& outcome,
+                                        std::size_t axis_index,
+                                        std::size_t base_value_index);
+
+// Front-marking on its own (exposed for tests and custom metrics).
+void mark_pareto_front(std::vector<ParetoPoint>& points);
+
+// Full machine-readable report: axes, per-cell coordinates + key + cache
+// provenance + headline metrics, and the run stats.  Stable key order.
+std::string sweep_report_json(const SweepOutcome& outcome);
+// One row per cell: axis columns, then key/provenance/metrics.
+std::string sweep_report_csv(const SweepOutcome& outcome);
+
+Status write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace redhip

@@ -1,0 +1,28 @@
+// Named axes for the sweep driver: `--axis name=v1,v2,...` strings are
+// resolved here into SweepAxis values carrying the right RunSpec/config
+// modifiers.  The axis semantics deliberately mirror the figure benches
+// (table-size applies Fig. 11's shift against the default PT, recal-interval
+// applies Fig. 12's paper-scale division by `scale`, depth reshapes via
+// HierarchyConfig::with_depth) so a sweep over those axes reproduces the
+// benches' design points exactly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "sweep/sweep.h"
+
+namespace redhip {
+
+// "name=v1,v2,..." -> axis.  `opts` supplies context some axes need (the
+// scale a paper-size value is divided by, the benchmark list "workload=all"
+// expands to).  An unknown axis or a malformed value throws
+// std::runtime_error with an INVALID_ARGUMENT diagnostic naming both.
+SweepAxis make_named_axis(const std::string& axis_spec,
+                          const ExperimentOptions& opts);
+
+// The axis names make_named_axis accepts (for usage messages).
+const std::vector<std::string>& known_axis_names();
+
+}  // namespace redhip

@@ -1,0 +1,32 @@
+// Content address of one simulation run.
+//
+// The sweep result cache must never serve a stale result, so the key is a
+// digest of *everything the simulated statistics depend on*: the fully
+// resolved HierarchyConfig (after scaling and every tweak hook), the
+// workload identity (benchmark, scale, seed, refs per core), the engine,
+// and a schema version bumped whenever the digest coverage or the cached
+// payload layout changes.  Host-side fields that cannot change the
+// simulated outcome (the obs trace path, host timing switches) are the only
+// deliberate exclusions — see DESIGN.md "Sweep & result cache".
+#pragma once
+
+#include <cstdint>
+
+#include "harness/run.h"
+
+namespace redhip {
+
+// Bump on any change to config_digest coverage, to sweep_cache_key
+// composition, or to the cache entry payload layout (result_cache.cc) —
+// old entries then miss instead of deserializing garbage.
+inline constexpr std::uint32_t kSweepCacheSchemaVersion = 1;
+
+// Digest of a fully-resolved machine description.  Two configs digest
+// equal iff every simulated-behaviour-relevant field is equal.
+std::uint64_t config_digest(const HierarchyConfig& config);
+
+// Cache key for one RunSpec: schema version + engine + workload identity +
+// config_digest(resolved_config(spec)).
+std::uint64_t sweep_cache_key(const RunSpec& spec);
+
+}  // namespace redhip

@@ -1,0 +1,365 @@
+#include "sweep/result_cache.h"
+
+#include <atomic>
+#include <cstring>
+#include <fstream>
+
+#include "common/fnv.h"
+#include "sweep/config_digest.h"
+
+namespace redhip {
+namespace {
+
+constexpr char kMagic[8] = {'R', 'D', 'H', 'P', 'S', 'W', 'P', 'C'};
+
+// Little-endian byte codec — explicit, like the Fnv1a feed, so cache files
+// written on one host validate on any other.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_ += static_cast<char>(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      buf_ += static_cast<char>(v & 0xff);
+      v >>= 8;
+    }
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      buf_ += static_cast<char>(v & 0xff);
+      v >>= 8;
+    }
+  }
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  std::string take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const std::string& buf) : buf_(buf) {}
+
+  bool u8(std::uint8_t& out) {
+    if (pos_ + 1 > buf_.size()) return fail();
+    out = static_cast<std::uint8_t>(buf_[pos_++]);
+    return true;
+  }
+  bool u32(std::uint32_t& out) {
+    if (pos_ + 4 > buf_.size()) return fail();
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      out |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(buf_[pos_++]))
+             << (8 * i);
+    }
+    return true;
+  }
+  bool u64(std::uint64_t& out) {
+    if (pos_ + 8 > buf_.size()) return fail();
+    out = 0;
+    for (int i = 0; i < 8; ++i) {
+      out |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(buf_[pos_++]))
+             << (8 * i);
+    }
+    return true;
+  }
+  bool f64(double& out) {
+    std::uint64_t bits = 0;
+    if (!u64(bits)) return false;
+    std::memcpy(&out, &bits, sizeof(out));
+    return true;
+  }
+  bool ok() const { return ok_; }
+  bool exhausted() const { return pos_ == buf_.size(); }
+
+ private:
+  bool fail() {
+    ok_ = false;
+    return false;
+  }
+  const std::string& buf_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+void write_level(ByteWriter& w, const LevelEvents& ev) {
+  w.u64(ev.tag_probes);
+  w.u64(ev.data_probes);
+  w.u64(ev.fills);
+  w.u64(ev.invalidations);
+  w.u64(ev.writebacks);
+  w.u64(ev.accesses);
+  w.u64(ev.hits);
+  w.u64(ev.misses);
+  w.u64(ev.evictions);
+  w.u64(ev.skipped);
+}
+
+bool read_level(ByteReader& r, LevelEvents& ev) {
+  return r.u64(ev.tag_probes) && r.u64(ev.data_probes) && r.u64(ev.fills) &&
+         r.u64(ev.invalidations) && r.u64(ev.writebacks) &&
+         r.u64(ev.accesses) && r.u64(ev.hits) && r.u64(ev.misses) &&
+         r.u64(ev.evictions) && r.u64(ev.skipped);
+}
+
+// A vector length read from disk is untrusted input: bound it so a corrupt
+// length can't drive a giant allocation before the checksum is consulted.
+constexpr std::uint64_t kMaxVectorLen = 1u << 24;
+
+}  // namespace
+
+std::string serialize_result(const SimResult& r) {
+  ByteWriter w;
+  w.u64(r.levels.size());
+  for (const LevelEvents& ev : r.levels) write_level(w, ev);
+
+  w.u64(r.predictor.lookups);
+  w.u64(r.predictor.updates);
+  w.u64(r.predictor.recalibrations);
+  w.u64(r.predictor.recal_sets_read);
+  w.u64(r.predictor.recal_words_written);
+  w.u64(r.predictor.predicted_absent);
+  w.u64(r.predictor.predicted_present);
+  w.u64(r.predictor.false_positives);
+  w.u64(r.predictor.true_positives);
+
+  w.u64(r.prefetch.table_lookups);
+  w.u64(r.prefetch.issued);
+  w.u64(r.prefetch.useful);
+  w.u64(r.prefetch.useless);
+  w.u64(r.prefetch.redundant);
+
+  w.u64(r.memory_accesses);
+  w.u64(r.demand_memory_accesses);
+  w.u64(r.memory_writebacks);
+
+  w.u64(r.core_cycles.size());
+  for (Cycles c : r.core_cycles) w.u64(c);
+  w.u64(r.exec_cycles);
+  w.u64(r.total_core_cycles);
+  w.u64(r.recal_stall_cycles);
+  w.u64(r.total_refs);
+  w.u64(r.predictor_disabled_refs);
+
+  w.u64(r.fault.pt_bits_cleared);
+  w.u64(r.fault.pt_bits_set);
+  w.u64(r.fault.recal_chunks_dropped);
+  w.u64(r.fault.trace_refs_perturbed);
+  w.u64(r.fault.audit_checks);
+  w.u64(r.fault.invariant_violations);
+  w.u64(r.fault.recovery_recalibrations);
+  w.u64(r.fault.recovery_stall_cycles);
+
+  w.f64(r.elapsed_seconds);
+
+  w.u64(r.energy.level_dynamic_j.size());
+  for (double v : r.energy.level_dynamic_j) w.f64(v);
+  w.f64(r.energy.predictor_dynamic_j);
+  w.f64(r.energy.recalibration_j);
+  w.f64(r.energy.prefetcher_j);
+  w.f64(r.energy.memory_j);
+  w.f64(r.energy.leakage_j);
+
+  w.u64(r.epochs.size());
+  for (const EpochSample& e : r.epochs) {
+    w.u64(e.index);
+    w.u64(e.end_ref);
+    w.u64(e.end_cycles);
+    w.u64(e.refs);
+    w.u64(e.l1_accesses);
+    w.u64(e.l1_misses);
+    w.u64(e.lookups);
+    w.u64(e.predicted_absent);
+    w.u64(e.predicted_present);
+    w.u64(e.tp);
+    w.u64(e.fp);
+    w.u64(e.tn);
+    w.u64(e.fn);
+    w.u64(e.recalibrations);
+    w.u64(e.pt_occupancy);
+    w.u8(e.predictor_active ? 1 : 0);
+  }
+  return w.take();
+}
+
+Result<SimResult> deserialize_result(const std::string& payload) {
+  const Status bad(StatusCode::kDataLoss,
+                   "sweep cache payload: truncated or malformed");
+  ByteReader r(payload);
+  SimResult out;
+
+  std::uint64_t n = 0;
+  if (!r.u64(n) || n > kMaxVectorLen) return bad;
+  out.levels.resize(n);
+  for (LevelEvents& ev : out.levels) {
+    if (!read_level(r, ev)) return bad;
+  }
+
+  bool ok = r.u64(out.predictor.lookups) && r.u64(out.predictor.updates) &&
+            r.u64(out.predictor.recalibrations) &&
+            r.u64(out.predictor.recal_sets_read) &&
+            r.u64(out.predictor.recal_words_written) &&
+            r.u64(out.predictor.predicted_absent) &&
+            r.u64(out.predictor.predicted_present) &&
+            r.u64(out.predictor.false_positives) &&
+            r.u64(out.predictor.true_positives) &&
+            r.u64(out.prefetch.table_lookups) && r.u64(out.prefetch.issued) &&
+            r.u64(out.prefetch.useful) && r.u64(out.prefetch.useless) &&
+            r.u64(out.prefetch.redundant) && r.u64(out.memory_accesses) &&
+            r.u64(out.demand_memory_accesses) && r.u64(out.memory_writebacks);
+  if (!ok) return bad;
+
+  if (!r.u64(n) || n > kMaxVectorLen) return bad;
+  out.core_cycles.resize(n);
+  for (Cycles& c : out.core_cycles) {
+    if (!r.u64(c)) return bad;
+  }
+  ok = r.u64(out.exec_cycles) && r.u64(out.total_core_cycles) &&
+       r.u64(out.recal_stall_cycles) && r.u64(out.total_refs) &&
+       r.u64(out.predictor_disabled_refs) && r.u64(out.fault.pt_bits_cleared) &&
+       r.u64(out.fault.pt_bits_set) && r.u64(out.fault.recal_chunks_dropped) &&
+       r.u64(out.fault.trace_refs_perturbed) && r.u64(out.fault.audit_checks) &&
+       r.u64(out.fault.invariant_violations) &&
+       r.u64(out.fault.recovery_recalibrations) &&
+       r.u64(out.fault.recovery_stall_cycles) && r.f64(out.elapsed_seconds);
+  if (!ok) return bad;
+
+  if (!r.u64(n) || n > kMaxVectorLen) return bad;
+  out.energy.level_dynamic_j.resize(n);
+  for (double& v : out.energy.level_dynamic_j) {
+    if (!r.f64(v)) return bad;
+  }
+  ok = r.f64(out.energy.predictor_dynamic_j) &&
+       r.f64(out.energy.recalibration_j) && r.f64(out.energy.prefetcher_j) &&
+       r.f64(out.energy.memory_j) && r.f64(out.energy.leakage_j);
+  if (!ok) return bad;
+
+  if (!r.u64(n) || n > kMaxVectorLen) return bad;
+  out.epochs.resize(n);
+  for (EpochSample& e : out.epochs) {
+    std::uint8_t active = 0;
+    ok = r.u64(e.index) && r.u64(e.end_ref) && r.u64(e.end_cycles) &&
+         r.u64(e.refs) && r.u64(e.l1_accesses) && r.u64(e.l1_misses) &&
+         r.u64(e.lookups) && r.u64(e.predicted_absent) &&
+         r.u64(e.predicted_present) && r.u64(e.tp) && r.u64(e.fp) &&
+         r.u64(e.tn) && r.u64(e.fn) && r.u64(e.recalibrations) &&
+         r.u64(e.pt_occupancy) && r.u8(active);
+    if (!ok) return bad;
+    e.predictor_active = active != 0;
+  }
+
+  if (!r.exhausted()) {
+    return Status(StatusCode::kDataLoss,
+                  "sweep cache payload: trailing bytes after result");
+  }
+  return out;
+}
+
+ResultCache::ResultCache(std::filesystem::path dir) : dir_(std::move(dir)) {
+  std::filesystem::create_directories(dir_);
+}
+
+std::filesystem::path ResultCache::entry_path(std::uint64_t key) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "%016llx.rdc",
+                static_cast<unsigned long long>(key));
+  return dir_ / name;
+}
+
+Result<SimResult> ResultCache::load(std::uint64_t key) const {
+  const std::filesystem::path path = entry_path(key);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status(StatusCode::kNotFound,
+                  "sweep cache: no entry " + path.string());
+  }
+  std::string file((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  const auto data_loss = [&path](const std::string& why) {
+    return Status(StatusCode::kDataLoss,
+                  "sweep cache entry " + path.string() + ": " + why);
+  };
+  // Header: magic(8) version(4) key(8) payload_len(8); trailer: checksum(8).
+  constexpr std::size_t kHeader = 8 + 4 + 8 + 8;
+  if (file.size() < kHeader + 8) return data_loss("truncated header");
+  if (std::memcmp(file.data(), kMagic, sizeof(kMagic)) != 0) {
+    return data_loss("bad magic");
+  }
+  ByteReader r(file);
+  std::uint64_t skip = 0;
+  r.u64(skip);  // magic, already checked
+  std::uint32_t version = 0;
+  std::uint64_t stored_key = 0, payload_len = 0;
+  if (!r.u32(version) || !r.u64(stored_key) || !r.u64(payload_len)) {
+    return data_loss("truncated header");
+  }
+  if (version != kSweepCacheSchemaVersion) {
+    return data_loss("schema version " + std::to_string(version) +
+                     " != " + std::to_string(kSweepCacheSchemaVersion));
+  }
+  if (stored_key != key) return data_loss("embedded key mismatch");
+  if (file.size() != kHeader + payload_len + 8) {
+    return data_loss("length mismatch (truncated or padded)");
+  }
+  const std::string payload = file.substr(kHeader, payload_len);
+  std::uint64_t stored_sum = 0;
+  for (int i = 0; i < 8; ++i) {
+    stored_sum |= static_cast<std::uint64_t>(static_cast<unsigned char>(
+                      file[kHeader + payload_len + i]))
+                  << (8 * i);
+  }
+  if (stored_sum != fnv1a(payload.data(), payload.size())) {
+    return data_loss("checksum mismatch");
+  }
+  return deserialize_result(payload);
+}
+
+Status ResultCache::store(std::uint64_t key, const SimResult& result) const {
+  const std::string payload = serialize_result(result);
+  ByteWriter w;
+  for (char c : kMagic) w.u8(static_cast<std::uint8_t>(c));
+  w.u32(kSweepCacheSchemaVersion);
+  w.u64(key);
+  w.u64(payload.size());
+  std::string file = w.take();
+  file += payload;
+  ByteWriter trailer;
+  trailer.u64(fnv1a(payload.data(), payload.size()));
+  file += trailer.take();
+
+  // Unique temp name per store call: concurrent pool threads may persist
+  // duplicate cells (two sweep points can resolve to the same config).
+  static std::atomic<std::uint64_t> counter{0};
+  const std::filesystem::path final_path = entry_path(key);
+  std::filesystem::path tmp = final_path;
+  tmp += ".tmp" + std::to_string(counter.fetch_add(1));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out || !out.write(file.data(),
+                           static_cast<std::streamsize>(file.size()))) {
+      return Status(StatusCode::kInternal,
+                    "sweep cache: cannot write " + tmp.string());
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, final_path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return Status(StatusCode::kInternal,
+                  "sweep cache: cannot rename into " + final_path.string());
+  }
+  return Status::Ok();
+}
+
+void ResultCache::discard(std::uint64_t key) const {
+  std::error_code ec;
+  std::filesystem::remove(entry_path(key), ec);
+}
+
+}  // namespace redhip

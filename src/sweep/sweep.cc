@@ -1,0 +1,222 @@
+#include "sweep/sweep.h"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <memory>
+
+#include "common/check.h"
+#include "harness/thread_pool.h"
+#include "sweep/config_digest.h"
+
+namespace redhip {
+
+std::size_t SweepSpec::cells() const {
+  std::size_t n = 1;
+  for (const SweepAxis& axis : axes) n *= axis.values.size();
+  return n;
+}
+
+void chain_tweak(RunSpec& spec, std::function<void(HierarchyConfig&)> extra) {
+  auto prev = std::move(spec.tweak);
+  spec.tweak = [prev = std::move(prev),
+                extra = std::move(extra)](HierarchyConfig& hc) {
+    if (prev) prev(hc);
+    extra(hc);
+  };
+}
+
+std::size_t SweepOutcome::cell_index(
+    const std::vector<std::size_t>& coord) const {
+  REDHIP_CHECK(coord.size() == axis_labels.size());
+  std::size_t index = 0;
+  for (std::size_t a = 0; a < coord.size(); ++a) {
+    REDHIP_CHECK(coord[a] < axis_labels[a].size());
+    index = index * axis_labels[a].size() + coord[a];
+  }
+  return index;
+}
+
+std::vector<SweepCell> expand(const SweepSpec& spec) {
+  for (const SweepAxis& axis : spec.axes) {
+    REDHIP_CHECK_MSG(!axis.values.empty(),
+                     "sweep axis '" + axis.name + "' has no values");
+  }
+  std::vector<SweepCell> cells;
+  cells.reserve(spec.cells());
+  std::vector<std::size_t> coord(spec.axes.size(), 0);
+  for (std::size_t n = spec.cells(); n > 0; --n) {
+    SweepCell cell;
+    cell.spec = spec.base;
+    cell.coord = coord;
+    for (std::size_t a = 0; a < spec.axes.size(); ++a) {
+      const AxisValue& v = spec.axes[a].values[coord[a]];
+      cell.labels.push_back(v.label);
+      if (v.apply) v.apply(cell.spec);
+    }
+    cell.key = sweep_cache_key(cell.spec);
+    cells.push_back(std::move(cell));
+    // Odometer, last axis fastest.
+    for (std::size_t a = coord.size(); a-- > 0;) {
+      if (++coord[a] < spec.axes[a].values.size()) break;
+      coord[a] = 0;
+    }
+  }
+  return cells;
+}
+
+namespace {
+
+// One cell, with the same bounded transient-fault retry run_matrix applies:
+// reseed the fault stream (nothing else) and try again.
+SimResult run_cell_with_retry(const SweepCell& cell) {
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    RunSpec spec = cell.spec;
+    if (attempt > 0) {
+      chain_tweak(spec, [attempt](HierarchyConfig& hc) {
+        hc.fault.seed += attempt * 0x9e3779b9ull;
+      });
+    }
+    try {
+      return run_spec(spec);
+    } catch (const TransientFaultError&) {
+      if (attempt + 1 >= kMaxTransientAttempts) throw;
+    }
+  }
+}
+
+}  // namespace
+
+SweepOutcome run_sweep(const SweepSpec& spec, const SweepRunOptions& opt) {
+  const auto start = std::chrono::steady_clock::now();
+  SweepOutcome out;
+  for (const SweepAxis& axis : spec.axes) {
+    out.axis_names.push_back(axis.name);
+    std::vector<std::string> labels;
+    for (const AxisValue& v : axis.values) labels.push_back(v.label);
+    out.axis_labels.push_back(std::move(labels));
+  }
+  out.cells = expand(spec);
+  out.stats.cells = out.cells.size();
+
+  std::unique_ptr<ResultCache> cache;
+  if (!opt.cache_dir.empty()) {
+    cache = std::make_unique<ResultCache>(opt.cache_dir);
+  }
+
+  // Warm pass: serve every resumable cell from the cache; a corrupt entry
+  // is evicted here and re-simulated below — never trusted.
+  std::vector<std::size_t> missing;
+  for (std::size_t i = 0; i < out.cells.size(); ++i) {
+    SweepCell& cell = out.cells[i];
+    if (cache && opt.resume) {
+      Result<SimResult> cached = cache->load(cell.key);
+      if (cached.ok()) {
+        cell.result = std::move(cached).value();
+        cell.from_cache = true;
+        ++out.stats.cache_hits;
+        continue;
+      }
+      if (cached.status().code() == StatusCode::kDataLoss) {
+        cache->discard(cell.key);
+      }
+    }
+    missing.push_back(i);
+  }
+
+  // Longest-estimated-job first, like run_matrix; cells can differ in refs
+  // too, so weigh the per-reference estimate by the cell's run length.
+  std::stable_sort(missing.begin(), missing.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     const RunSpec& x = out.cells[a].spec;
+                     const RunSpec& y = out.cells[b].spec;
+                     return estimated_run_cost(x.bench, x.scheme, x.prefetch) *
+                                static_cast<double>(x.refs_per_core) >
+                            estimated_run_cost(y.bench, y.scheme, y.prefetch) *
+                                static_cast<double>(y.refs_per_core);
+                   });
+
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(missing.size());
+  for (std::size_t i : missing) {
+    tasks.push_back([&out, i, &cache] {
+      SweepCell& cell = out.cells[i];
+      cell.result = run_cell_with_retry(cell);
+      // Persist immediately (atomic temp+rename): a kill from here on
+      // cannot cost this cell again.
+      if (cache) cache->store(cell.key, cell.result).throw_if_error();
+    });
+  }
+  out.stats.simulated = tasks.size();
+  ThreadPool::run_all(std::move(tasks), opt.jobs);
+
+  out.stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return out;
+}
+
+std::vector<std::vector<SimResult>> sweep_matrix(
+    const ExperimentOptions& opts, const std::vector<SchemeColumn>& columns,
+    SweepStats* stats) {
+  SweepSpec spec;
+  spec.base.scale = opts.scale;
+  spec.base.refs_per_core = opts.refs_per_core;
+  spec.base.seed = opts.seed;
+  spec.base.engine = opts.engine;
+
+  SweepAxis bench_axis{"workload", {}};
+  for (BenchmarkId id : opts.benches) {
+    bench_axis.values.push_back(
+        {to_string(id), [id](RunSpec& s) { s.bench = id; }});
+  }
+  spec.axes.push_back(std::move(bench_axis));
+
+  const bool tracing = !opts.trace_events.empty();
+  if (tracing) std::filesystem::create_directories(opts.trace_events);
+  SweepAxis column_axis{"column", {}};
+  for (const SchemeColumn& col : columns) {
+    const std::string trace_dir = opts.trace_events;
+    const std::uint64_t epoch_refs = opts.obs_epoch_refs;
+    auto apply = [col, tracing, trace_dir, epoch_refs](RunSpec& s) {
+      s.scheme = col.scheme;
+      s.inclusion = col.inclusion;
+      s.prefetch = col.prefetch;
+      if (col.tweak) chain_tweak(s, col.tweak);
+      if (tracing) {
+        // The workload axis has already run, so s.bench names this cell.
+        const std::string path =
+            (std::filesystem::path(trace_dir) /
+             trace_file_name(s.bench, col.label, s.engine))
+                .string();
+        chain_tweak(s, [path, epoch_refs](HierarchyConfig& hc) {
+          hc.obs.enabled = true;
+          hc.obs.epoch_refs = epoch_refs;
+          hc.obs.trace_path = path;
+        });
+      }
+    };
+    column_axis.values.push_back({col.label, std::move(apply)});
+  }
+  spec.axes.push_back(std::move(column_axis));
+
+  SweepRunOptions ro;
+  // Event-trace runs must actually simulate (the trace file is a side
+  // effect of the run), so the cache is bypassed entirely under tracing.
+  ro.cache_dir = tracing ? "" : opts.cache_dir;
+  ro.resume = opts.resume;
+  ro.jobs = opts.jobs;
+  SweepOutcome out = run_sweep(spec, ro);
+  if (stats != nullptr) *stats = out.stats;
+
+  std::vector<std::vector<SimResult>> results(
+      opts.benches.size(), std::vector<SimResult>(columns.size()));
+  for (std::size_t b = 0; b < opts.benches.size(); ++b) {
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      results[b][c] = std::move(out.cells[b * columns.size() + c].result);
+    }
+  }
+  return results;
+}
+
+}  // namespace redhip

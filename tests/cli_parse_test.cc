@@ -1,8 +1,12 @@
 // 64-bit CLI parsing: ref counts past 2^31 and full-range u64 seeds must
 // round-trip through the option layer (std::stoll alone would reject seeds
-// above 2^63-1), and --engine must select the run loop.
+// above 2^63-1), and --engine must select the run loop.  Malformed numerics
+// must surface as INVALID_ARGUMENT naming the flag and the value — the old
+// bare std::stoull path silently wrapped `--refs=-1` to 2^64-1 and let
+// std::invalid_argument escape with no indication of which flag was bad.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <vector>
 
 #include "common/cli.h"
@@ -46,6 +50,71 @@ TEST(CliParse, EngineSelection) {
             SimEngine::kFast);
   EXPECT_EQ(ExperimentOptions::parse(make_cli({"--engine=reference"})).engine,
             SimEngine::kReference);
+}
+
+TEST(CliParse, NegativeUnsignedIsRejectedNotWrapped) {
+  // std::stoull would parse "-1" as 2^64-1; that must be a usage error.
+  const auto cli = make_cli({"--refs=-1"});
+  const auto r = cli.try_get_uint64("refs", 0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("--refs=-1"), std::string::npos)
+      << r.status().message();
+  EXPECT_THROW(cli.get_uint64("refs", 0), std::runtime_error);
+  EXPECT_THROW(ExperimentOptions::parse(cli), std::runtime_error);
+}
+
+TEST(CliParse, ExplicitPlusSignIsRejectedOnUnsigned) {
+  const auto r = make_cli({"--seed=+7"}).try_get_uint64("seed", 0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CliParse, TrailingGarbageIsRejected) {
+  for (const char* bad :
+       {"--refs=100x", "--refs=1e6", "--refs=10 ", "--refs=0x10"}) {
+    const auto r = make_cli({bad}).try_get_uint64("refs", 0);
+    ASSERT_FALSE(r.ok()) << bad;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << bad;
+    // The diagnostic names the flag and echoes the offending value.
+    EXPECT_NE(r.status().message().find("--refs="), std::string::npos) << bad;
+  }
+}
+
+TEST(CliParse, SignedIntRejectsGarbageButTakesNegatives) {
+  EXPECT_EQ(make_cli({"--scale=-4"}).get_int("scale", 0), -4);
+  const auto r = make_cli({"--scale=4q"}).try_get_int("scale", 0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("--scale=4q"), std::string::npos);
+}
+
+TEST(CliParse, IntegerOverflowIsAnErrorNotSilentClamp) {
+  // One past 2^64-1.
+  const auto r =
+      make_cli({"--seed=18446744073709551616"}).try_get_uint64("seed", 0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("out of range"), std::string::npos);
+}
+
+TEST(CliParse, DoubleRejectsGarbageAndAcceptsScientific) {
+  EXPECT_DOUBLE_EQ(make_cli({"--rate=2.5e3"}).get_double("rate", 0), 2500.0);
+  for (const char* bad : {"--rate=fast", "--rate=1.5x", "--rate= 1.5"}) {
+    const auto r = make_cli({bad}).try_get_double("rate", 0);
+    ASSERT_FALSE(r.ok()) << bad;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << bad;
+  }
+}
+
+TEST(CliParse, RepeatedFlagKeepsEveryOccurrenceInOrder) {
+  const auto cli = make_cli(
+      {"--axis=workload=mcf", "--axis=table-size=512K,64K", "--scale=4"});
+  EXPECT_EQ(cli.get_all("axis"),
+            (std::vector<std::string>{"workload=mcf", "table-size=512K,64K"}));
+  EXPECT_TRUE(cli.get_all("nope").empty());
+  // Scalar accessors still see the last occurrence.
+  const auto last = make_cli({"--scale=4", "--scale=8"});
+  EXPECT_EQ(last.get_int("scale", 0), 8);
 }
 
 }  // namespace

@@ -127,7 +127,10 @@ TEST(ThreadPoolTest, WaitIdleBlocksUntilDone) {
   std::atomic<int> done{0};
   for (int i = 0; i < 8; ++i) {
     pool.submit([&done] {
-      for (volatile int spin = 0; spin < 100'000; ++spin) {
+      // The empty asm keeps the busy-wait from being optimized away
+      // (volatile int induction is deprecated in C++20).
+      for (int spin = 0; spin < 100'000; ++spin) {
+        asm volatile("");
       }
       ++done;
     });

@@ -419,7 +419,9 @@ TEST(PartialTag, StaysAccurateWithoutRecalibration) {
     ++probes;
     const bool predicted = p.query(l) == Prediction::kPresent;
     const bool actual = llc.contains(l);
-    if (actual) ASSERT_TRUE(predicted) << "false negative";
+    if (actual) {
+      ASSERT_TRUE(predicted) << "false negative";
+    }
     if (predicted == actual) ++agree;
   }
   EXPECT_GT(static_cast<double>(agree) / probes, 0.9)

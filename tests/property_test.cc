@@ -132,9 +132,9 @@ INSTANTIATE_TEST_SUITE_P(
         SchemePolicy{Scheme::kBase, InclusionPolicy::kExclusive},
         SchemePolicy{Scheme::kRedhip, InclusionPolicy::kExclusive},
         SchemePolicy{Scheme::kOracle, InclusionPolicy::kExclusive}),
-    [](const ::testing::TestParamInfo<SchemePolicy>& info) {
-      return to_string(std::get<0>(info.param)) + "_" +
-             to_string(std::get<1>(info.param));
+    [](const ::testing::TestParamInfo<SchemePolicy>& param_info) {
+      return to_string(std::get<0>(param_info.param)) + "_" +
+             to_string(std::get<1>(param_info.param));
     });
 
 // ---------------------------------------------------------------------------
@@ -194,8 +194,8 @@ TEST_P(WorkloadProperty, OracleDominatesRedhipOnEnergy) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllBenchmarks, WorkloadProperty, ::testing::ValuesIn(all_benchmarks()),
-    [](const ::testing::TestParamInfo<BenchmarkId>& info) {
-      return to_string(info.param);
+    [](const ::testing::TestParamInfo<BenchmarkId>& param_info) {
+      return to_string(param_info.param);
     });
 
 // ---------------------------------------------------------------------------

@@ -8,6 +8,7 @@
 // emptiness check.
 #include <gtest/gtest.h>
 
+#include "harness/run.h"
 #include "sim/stats.h"
 
 namespace redhip {
@@ -54,6 +55,19 @@ TEST(StatsConventions, ZeroMissRunHasZeroOffchipFraction) {
 TEST(StatsConventions, HitRateOutOfRangeLevelThrows) {
   const SimResult r;
   EXPECT_THROW(r.hit_rate(0), std::out_of_range);  // levels.at()
+}
+
+TEST(StatsConventions, CompareRejectsZeroCycleComparands) {
+  // compare() divides by total_core_cycles; a hand-built or corrupt result
+  // with zero cycles used to put inf into the speedup silently.
+  SimResult ok;
+  ok.exec_cycles = 100;
+  ok.total_core_cycles = 100;
+  SimResult zero = ok;
+  zero.total_core_cycles = 0;
+  EXPECT_NO_THROW(compare(ok, ok));
+  EXPECT_THROW(compare(zero, ok), std::logic_error);
+  EXPECT_THROW(compare(ok, zero), std::logic_error);
 }
 
 }  // namespace

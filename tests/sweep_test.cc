@@ -1,0 +1,230 @@
+// The sweep expansion, its content-addressed keys, and the aggregation
+// layer.  The executor-vs-run_matrix equivalence matters most: sweep_matrix
+// replaced run_matrix under the figure benches, so the two must produce
+// bit-identical SimResults for the same options and columns.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "sweep/aggregate.h"
+#include "sweep/config_digest.h"
+#include "sweep/sweep.h"
+
+namespace redhip {
+namespace {
+
+RunSpec tiny_base() {
+  RunSpec spec;
+  spec.bench = BenchmarkId::kMcf;
+  spec.scale = 32;
+  spec.refs_per_core = 2'000;
+  return spec;
+}
+
+SweepSpec two_axis_spec() {
+  SweepSpec spec;
+  spec.base = tiny_base();
+  SweepAxis scheme{"scheme",
+                   {{"Base", [](RunSpec& s) { s.scheme = Scheme::kBase; }},
+                    {"ReDHiP", [](RunSpec& s) { s.scheme = Scheme::kRedhip; }}}};
+  SweepAxis size{"table-size", {}};
+  for (int shift : {0, -1, -2}) {
+    size.values.push_back({std::to_string(shift), [shift](RunSpec& s) {
+                             chain_tweak(s, [shift](HierarchyConfig& c) {
+                               c.redhip.table_bits >>= -shift;
+                             });
+                           }});
+  }
+  spec.axes.push_back(std::move(scheme));
+  spec.axes.push_back(std::move(size));
+  return spec;
+}
+
+TEST(SweepExpand, CrossProductRowMajorLastAxisFastest) {
+  const SweepSpec spec = two_axis_spec();
+  EXPECT_EQ(spec.cells(), 6u);
+  const auto cells = expand(spec);
+  ASSERT_EQ(cells.size(), 6u);
+  // (scheme, size) with size fastest: 00 01 02 10 11 12.
+  const std::vector<std::vector<std::size_t>> want = {
+      {0, 0}, {0, 1}, {0, 2}, {1, 0}, {1, 1}, {1, 2}};
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].coord, want[i]) << "cell " << i;
+  }
+  EXPECT_EQ(cells[4].labels, (std::vector<std::string>{"ReDHiP", "-1"}));
+  EXPECT_EQ(cells[4].spec.scheme, Scheme::kRedhip);
+}
+
+TEST(SweepExpand, CellIndexMatchesExpansionOrder) {
+  const SweepSpec spec = two_axis_spec();
+  SweepOutcome out;
+  for (const SweepAxis& axis : spec.axes) {
+    out.axis_names.push_back(axis.name);
+    std::vector<std::string> labels;
+    for (const AxisValue& v : axis.values) labels.push_back(v.label);
+    out.axis_labels.push_back(std::move(labels));
+  }
+  out.cells = expand(spec);
+  for (std::size_t i = 0; i < out.cells.size(); ++i) {
+    EXPECT_EQ(out.cell_index(out.cells[i].coord), i);
+  }
+}
+
+TEST(SweepExpand, EmptyAxisIsAnError) {
+  SweepSpec spec;
+  spec.base = tiny_base();
+  spec.axes.push_back({"empty", {}});
+  EXPECT_THROW(expand(spec), std::logic_error);
+}
+
+TEST(SweepKey, DeterministicAndLabelIndependent) {
+  const auto a = expand(two_axis_spec());
+  const auto b = expand(two_axis_spec());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key, b[i].key);
+  }
+  // Same modifiers under different labels: the key hashes the resolved
+  // config, not the display strings.
+  SweepSpec renamed = two_axis_spec();
+  for (auto& axis : renamed.axes) {
+    for (auto& v : axis.values) v.label = "renamed-" + v.label;
+  }
+  const auto c = expand(renamed);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key, c[i].key);
+  }
+}
+
+TEST(SweepKey, EveryAxisValueChangesTheKey) {
+  const auto cells = expand(two_axis_spec());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    for (std::size_t j = i + 1; j < cells.size(); ++j) {
+      EXPECT_NE(cells[i].key, cells[j].key)
+          << "cells " << i << " and " << j << " collide";
+    }
+  }
+}
+
+TEST(SweepKey, WorkloadScaleRefsSeedAndEngineAreAllKeyed) {
+  const RunSpec base = tiny_base();
+  const std::uint64_t k0 = sweep_cache_key(base);
+
+  RunSpec s = base;
+  s.bench = BenchmarkId::kAstar;
+  EXPECT_NE(sweep_cache_key(s), k0);
+  s = base;
+  s.scale = 16;
+  EXPECT_NE(sweep_cache_key(s), k0);
+  s = base;
+  s.refs_per_core += 1;
+  EXPECT_NE(sweep_cache_key(s), k0);
+  s = base;
+  s.seed += 1;
+  EXPECT_NE(sweep_cache_key(s), k0);
+  s = base;
+  s.engine = SimEngine::kReference;
+  EXPECT_NE(sweep_cache_key(s), k0);
+}
+
+TEST(SweepKey, TracePathDoesNotChangeTheKey) {
+  // The event-trace destination is a host-side side channel, not part of
+  // the simulated machine; two runs that differ only in where they write
+  // their trace are the same run.
+  RunSpec a = tiny_base();
+  RunSpec b = tiny_base();
+  chain_tweak(b, [](HierarchyConfig& c) { c.obs.trace_path = "/tmp/x.jsonl"; });
+  EXPECT_EQ(sweep_cache_key(a), sweep_cache_key(b));
+  // ...but turning the epoch sampler on is simulated state (epochs land in
+  // SimResult), so it must re-key.
+  RunSpec c = tiny_base();
+  chain_tweak(c, [](HierarchyConfig& hc) { hc.obs.enabled = true; });
+  EXPECT_NE(sweep_cache_key(a), sweep_cache_key(c));
+}
+
+TEST(SweepExecutor, MatchesRunMatrixBitForBit) {
+  ExperimentOptions opts;
+  opts.scale = 32;
+  opts.refs_per_core = 2'000;
+  opts.benches = {BenchmarkId::kMcf, BenchmarkId::kAstar};
+  std::vector<SchemeColumn> columns = {{"Base", Scheme::kBase}};
+  SchemeColumn red;
+  red.label = "ReDHiP/4";
+  red.scheme = Scheme::kRedhip;
+  red.tweak = [](HierarchyConfig& c) { c.redhip.table_bits >>= 2; };
+  columns.push_back(std::move(red));
+
+  const auto via_matrix = run_matrix(opts, columns);
+  SweepStats stats;
+  const auto via_sweep = sweep_matrix(opts, columns, &stats);
+  EXPECT_EQ(stats.cells, 4u);
+  EXPECT_EQ(stats.simulated, 4u);  // no cache configured
+  EXPECT_EQ(stats.cache_hits, 0u);
+  ASSERT_EQ(via_sweep.size(), via_matrix.size());
+  for (std::size_t b = 0; b < via_matrix.size(); ++b) {
+    ASSERT_EQ(via_sweep[b].size(), via_matrix[b].size());
+    for (std::size_t c = 0; c < via_matrix[b].size(); ++c) {
+      EXPECT_TRUE(stats_identical(via_matrix[b][c], via_sweep[b][c]))
+          << "bench " << b << " column " << c;
+    }
+  }
+}
+
+TEST(SweepAggregate, SensitivityTableAveragesOverOtherAxes) {
+  // Hand-built 2x2 outcome; metric = exec_cycles.
+  SweepOutcome out;
+  out.axis_names = {"a", "b"};
+  out.axis_labels = {{"a0", "a1"}, {"b0", "b1"}};
+  out.cells.resize(4);
+  const std::vector<double> cycles = {10, 20, 30, 40};  // a0b0 a0b1 a1b0 a1b1
+  for (std::size_t i = 0; i < 4; ++i) {
+    out.cells[i].coord = {i / 2, i % 2};
+    out.cells[i].result.exec_cycles = static_cast<Cycles>(cycles[i]);
+  }
+  const SensitivityTable ta = sensitivity_table(out, 0, metric_exec_cycles);
+  ASSERT_EQ(ta.rows.size(), 2u);
+  EXPECT_EQ(ta.rows[0].label, "a0");
+  EXPECT_DOUBLE_EQ(ta.rows[0].mean, 15.0);
+  EXPECT_DOUBLE_EQ(ta.rows[1].mean, 35.0);
+  EXPECT_EQ(ta.rows[0].cells, 2u);
+  const SensitivityTable tb = sensitivity_table(out, 1, metric_exec_cycles);
+  EXPECT_DOUBLE_EQ(tb.rows[0].mean, 20.0);
+  EXPECT_DOUBLE_EQ(tb.rows[1].mean, 30.0);
+}
+
+TEST(SweepAggregate, ParetoFrontDominance) {
+  // (speedup, energy): higher speedup and lower energy dominate.
+  std::vector<ParetoPoint> pts(4);
+  pts[0].speedup = 1.10; pts[0].total_energy_ratio = 0.80;  // front
+  pts[1].speedup = 1.05; pts[1].total_energy_ratio = 0.70;  // front
+  pts[2].speedup = 1.05; pts[2].total_energy_ratio = 0.90;  // dominated by 0
+  pts[3].speedup = 1.10; pts[3].total_energy_ratio = 0.80;  // ties 0: front
+  mark_pareto_front(pts);
+  EXPECT_TRUE(pts[0].on_front);
+  EXPECT_TRUE(pts[1].on_front);
+  EXPECT_FALSE(pts[2].on_front);
+  EXPECT_TRUE(pts[3].on_front);
+}
+
+TEST(SweepAggregate, ReportsContainEveryCell) {
+  SweepSpec spec = two_axis_spec();
+  spec.base.refs_per_core = 500;
+  const SweepOutcome out = run_sweep(spec);
+  const std::string json = sweep_report_json(out);
+  const std::string csv = sweep_report_csv(out);
+  for (const SweepCell& cell : out.cells) {
+    for (const std::string& label : cell.labels) {
+      EXPECT_NE(json.find(label), std::string::npos);
+      EXPECT_NE(csv.find(label), std::string::npos);
+    }
+  }
+  // One header plus one row per cell.
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(csv.begin(), csv.end(), '\n')),
+            out.cells.size() + 1);
+}
+
+}  // namespace
+}  // namespace redhip

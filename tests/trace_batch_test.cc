@@ -69,8 +69,8 @@ TEST_P(WorkloadBatch, BatchedMatchesScalar) {
 
 INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadBatch,
                          ::testing::ValuesIn(all_benchmarks()),
-                         [](const auto& info) {
-                           return to_string(info.param);
+                         [](const auto& param_info) {
+                           return to_string(param_info.param);
                          });
 
 std::vector<MemRef> make_refs(std::size_t n) {

@@ -167,7 +167,9 @@ TEST(BfsKernel, AllAddressesLandInOwnedRegions) {
     const bool in_e = m.addr >= e.base && m.addr < e.base + e.bytes;
     const bool in_v = m.addr >= v.base && m.addr < v.base + v.bytes;
     ASSERT_TRUE(in_f || in_e || in_v);
-    if (m.is_write) ASSERT_TRUE(in_v) << "only visited-map accesses write";
+    if (m.is_write) {
+      ASSERT_TRUE(in_v) << "only visited-map accesses write";
+    }
   }
 }
 
