@@ -1,24 +1,40 @@
 // bench_speed — end-to-end simulation speed benchmark (BENCH_speed.json).
 //
-// Runs the base + redhip columns over the full workload list twice — once
-// on the fast engine (batched traces, specialized run loops, heap
-// scheduler) and once on the reference engine (the original scalar loop,
-// kept as the bit-identical oracle) — and reports per-run and aggregate
-// host throughput in simulated Mrefs/s.  Every (workload, column) cell is
-// checked for statistically identical results across the two engines, so
-// the speed number is only ever reported for a correct engine.
+// Runs the base + redhip columns over the full workload list on three
+// engines — fast (batched traces, specialized run loops, heap scheduler),
+// reference (the original scalar loop, kept as the bit-identical oracle)
+// and parallel (the bound-weave engine, src/sim/parallel.cc) — and reports
+// per-run and aggregate host throughput in simulated Mrefs/s.  Every
+// (workload, column) cell is checked for statistically identical results
+// across all engines, so a speed number is only ever reported for a
+// correct engine.
+//
+// `--repeat=N` measures each engine N times and reports best-of-N (the
+// headline `matrix_wall_seconds`: least-interference estimate) alongside
+// median-of-N (`matrix_wall_seconds_median`: typical-run estimate, robust
+// to one quiet outlier in either direction).  Results are identical across
+// repeats by determinism; only wall time varies.
 //
 // `--pre-pr-wall <seconds>` additionally records a speedup against an
 // externally measured wall time (scripts/bench_speed.sh passes the wall
 // time of the pre-fast-path engine measured on the same machine).
 //
+// `--cpu-model` / `--compiler-flags` land verbatim in the config block so
+// a committed BENCH_speed.json names the host that produced it
+// (scripts/bench_speed.sh fills both; the compiler version itself is baked
+// in at build time).
+//
 // Usage: bench_speed [--scale=8] [--refs=1000000] [--seed=42] [--jobs=N]
-//                    [--out=BENCH_speed.json] [--pre-pr-wall=SECONDS]
-//                    [--pre-pr-note=TEXT] [--skip-reference]
+//                    [--threads=N] [--repeat=N] [--out=BENCH_speed.json]
+//                    [--cpu-model=TEXT] [--compiler-flags=TEXT]
+//                    [--pre-pr-wall=SECONDS] [--pre-pr-note=TEXT]
+//                    [--skip-reference] [--skip-parallel]
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/cli.h"
@@ -38,25 +54,84 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+// One engine measured --repeat times: the first repeat's results (for the
+// identity checks; repeats are bit-identical) plus every repeat's wall
+// clock.
+struct EngineLeg {
+  std::vector<std::vector<SimResult>> results;
+  std::vector<MatrixStats> reps;
+
+  const MatrixStats& best() const {
+    std::size_t bi = 0;
+    for (std::size_t i = 1; i < reps.size(); ++i) {
+      if (reps[i].wall_seconds < reps[bi].wall_seconds) bi = i;
+    }
+    return reps[bi];
+  }
+  double median_wall() const {
+    std::vector<double> w;
+    for (const MatrixStats& s : reps) w.push_back(s.wall_seconds);
+    std::sort(w.begin(), w.end());
+    const std::size_t n = w.size();
+    return n % 2 == 1 ? w[n / 2] : 0.5 * (w[n / 2 - 1] + w[n / 2]);
+  }
+};
+
+EngineLeg measure(ExperimentOptions opts, SimEngine engine,
+                  const std::vector<SchemeColumn>& columns,
+                  std::uint32_t repeat, const char* name) {
+  opts.engine = engine;
+  EngineLeg leg;
+  for (std::uint32_t r = 0; r < repeat; ++r) {
+    MatrixStats stats;
+    auto results = run_matrix(opts, columns, &stats);
+    if (r == 0) leg.results = std::move(results);
+    leg.reps.push_back(stats);
+  }
+  std::printf("%-17s %.3fs best / %.3fs median of %u  (%.3f Mrefs/s)\n",
+              name, leg.best().wall_seconds, leg.median_wall(), repeat,
+              leg.best().mrefs_per_s);
+  return leg;
+}
+
+bool check_identical(const ExperimentOptions& opts,
+                     const std::vector<SchemeColumn>& columns,
+                     const EngineLeg& a, const EngineLeg& b,
+                     const char* a_name, const char* b_name) {
+  for (std::size_t bi = 0; bi < opts.benches.size(); ++bi) {
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      if (!stats_identical(a.results[bi][c], b.results[bi][c])) {
+        std::fprintf(stderr, "FAIL: %s/%s results differ for %s/%s\n",
+                     a_name, b_name, to_string(opts.benches[bi]).c_str(),
+                     columns[c].label.c_str());
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 void append_engine_block(std::ostringstream& os, const char* name,
                          const ExperimentOptions& opts,
                          const std::vector<SchemeColumn>& columns,
-                         const std::vector<std::vector<SimResult>>& results,
-                         const MatrixStats& stats) {
+                         const EngineLeg& leg) {
+  const MatrixStats& best = leg.best();
   os << "  \"" << name << "\": {\n";
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "    \"matrix_wall_seconds\": %.3f,\n"
+                "    \"matrix_wall_seconds_median\": %.3f,\n"
+                "    \"repeats\": %zu,\n"
                 "    \"total_refs\": %llu,\n"
                 "    \"mrefs_per_s\": %.3f,\n",
-                stats.wall_seconds,
-                static_cast<unsigned long long>(stats.total_refs),
-                stats.mrefs_per_s);
+                best.wall_seconds, leg.median_wall(), leg.reps.size(),
+                static_cast<unsigned long long>(best.total_refs),
+                best.mrefs_per_s);
   os << buf;
   os << "    \"runs\": [\n";
   for (std::size_t b = 0; b < opts.benches.size(); ++b) {
     for (std::size_t c = 0; c < columns.size(); ++c) {
-      const SimResult& r = results[b][c];
+      const SimResult& r = leg.results[b][c];
       std::snprintf(buf, sizeof(buf),
                     "      {\"bench\": \"%s\", \"column\": \"%s\", "
                     "\"host_seconds\": %.3f, \"mrefs_per_s\": %.3f}%s\n",
@@ -81,6 +156,11 @@ int main(int argc, char** argv) {
   const double pre_pr_wall = cli.get_double("pre-pr-wall", 0.0);
   const std::string pre_pr_note = cli.get("pre-pr-note", "");
   const bool skip_reference = cli.get_bool("skip-reference", false);
+  const bool skip_parallel = cli.get_bool("skip-parallel", false);
+  const std::uint32_t repeat = static_cast<std::uint32_t>(
+      std::max<long long>(1, cli.get_int("repeat", 1)));
+  const std::string cpu_model = cli.get("cpu-model", "unknown");
+  const std::string compiler_flags = cli.get("compiler-flags", "");
 
   std::vector<SchemeColumn> columns(2);
   columns[0].label = "base";
@@ -88,52 +168,67 @@ int main(int argc, char** argv) {
   columns[1].label = "redhip";
   columns[1].scheme = Scheme::kRedhip;
 
-  std::printf("bench_speed: scale=%u refs=%llu seed=%llu benches=%zu\n",
-              opts.scale, static_cast<unsigned long long>(opts.refs_per_core),
-              static_cast<unsigned long long>(opts.seed),
-              opts.benches.size());
+  std::printf(
+      "bench_speed: scale=%u refs=%llu seed=%llu benches=%zu repeat=%u\n",
+      opts.scale, static_cast<unsigned long long>(opts.refs_per_core),
+      static_cast<unsigned long long>(opts.seed), opts.benches.size(),
+      repeat);
 
-  opts.engine = SimEngine::kFast;
-  MatrixStats fast_stats;
-  const auto fast = run_matrix(opts, columns, &fast_stats);
-  std::printf("fast engine:      %.3fs  (%.3f Mrefs/s)\n",
-              fast_stats.wall_seconds, fast_stats.mrefs_per_s);
+  const EngineLeg fast =
+      measure(opts, SimEngine::kFast, columns, repeat, "fast engine:");
 
-  std::vector<std::vector<SimResult>> ref;
-  MatrixStats ref_stats;
+  EngineLeg ref;
   if (!skip_reference) {
-    opts.engine = SimEngine::kReference;
-    ref = run_matrix(opts, columns, &ref_stats);
-    std::printf("reference engine: %.3fs  (%.3f Mrefs/s)\n",
-                ref_stats.wall_seconds, ref_stats.mrefs_per_s);
+    ref = measure(opts, SimEngine::kReference, columns, repeat,
+                  "reference engine:");
     // The speed claim is only meaningful if the fast engine computes the
     // same simulation — verify every cell.
-    for (std::size_t b = 0; b < opts.benches.size(); ++b) {
-      for (std::size_t c = 0; c < columns.size(); ++c) {
-        if (!stats_identical(fast[b][c], ref[b][c])) {
-          std::fprintf(stderr,
-                       "FAIL: fast/reference results differ for %s/%s\n",
-                       to_string(opts.benches[b]).c_str(),
-                       columns[c].label.c_str());
-          return 1;
-        }
-      }
+    if (!check_identical(opts, columns, fast, ref, "fast", "reference")) {
+      return 1;
     }
-    std::printf("engines bit-identical across all %zu runs\n",
-                opts.benches.size() * columns.size());
+  }
+
+  EngineLeg par;
+  if (!skip_parallel) {
+    par = measure(opts, SimEngine::kParallel, columns, repeat,
+                  "parallel engine:");
+    if (!check_identical(opts, columns, fast, par, "fast", "parallel")) {
+      return 1;
+    }
+  }
+  if (!skip_reference || !skip_parallel) {
+    std::size_t engines = 1;
+    if (!skip_reference) ++engines;
+    if (!skip_parallel) ++engines;
+    std::printf("engines bit-identical across all %zu runs (%zu engines)\n",
+                opts.benches.size() * columns.size(), engines);
   }
 
   std::ostringstream os;
   os << "{\n";
   os << "  \"config\": {\n";
-  char buf[256];
+  char buf[512];
   std::snprintf(buf, sizeof(buf),
                 "    \"scale\": %u,\n    \"refs_per_core\": %llu,\n"
-                "    \"seed\": %llu,\n    \"jobs\": %zu,\n",
+                "    \"seed\": %llu,\n    \"jobs\": %zu,\n"
+                "    \"threads\": %u,\n    \"repeat\": %u,\n",
                 opts.scale,
                 static_cast<unsigned long long>(opts.refs_per_core),
-                static_cast<unsigned long long>(opts.seed), opts.jobs);
+                static_cast<unsigned long long>(opts.seed), opts.jobs,
+                opts.threads, repeat);
   os << buf;
+  // Host metadata: the committed BENCH_speed.json must name the machine and
+  // toolchain behind its numbers, or the numbers are unreproducible trivia.
+  os << "    \"cpu_model\": \"" << json_escape(cpu_model) << "\",\n";
+  os << "    \"host_cores\": " << std::thread::hardware_concurrency()
+     << ",\n";
+  os << "    \"compiler_version\": \"" << json_escape(__VERSION__) << "\",\n";
+  os << "    \"compiler_flags\": \"" << json_escape(compiler_flags)
+     << "\",\n";
+  os << "    \"engines\": [\"fast\"";
+  if (!skip_reference) os << ", \"reference\"";
+  if (!skip_parallel) os << ", \"parallel\"";
+  os << "],\n";
   os << "    \"columns\": [";
   for (std::size_t c = 0; c < columns.size(); ++c) {
     os << (c ? ", " : "") << '"' << json_escape(columns[c].label) << '"';
@@ -143,14 +238,23 @@ int main(int argc, char** argv) {
     os << (b ? ", " : "") << '"' << to_string(opts.benches[b]) << '"';
   }
   os << "]\n  },\n";
-  append_engine_block(os, "fast_engine", opts, columns, fast, fast_stats);
+  append_engine_block(os, "fast_engine", opts, columns, fast);
   if (!skip_reference) {
     os << ",\n";
-    append_engine_block(os, "reference_engine", opts, columns, ref,
-                        ref_stats);
+    append_engine_block(os, "reference_engine", opts, columns, ref);
     std::snprintf(buf, sizeof(buf), ",\n  \"speedup_vs_reference\": %.3f",
-                  fast_stats.wall_seconds > 0.0
-                      ? ref_stats.wall_seconds / fast_stats.wall_seconds
+                  fast.best().wall_seconds > 0.0
+                      ? ref.best().wall_seconds / fast.best().wall_seconds
+                      : 0.0);
+    os << buf;
+  }
+  if (!skip_parallel) {
+    os << ",\n";
+    append_engine_block(os, "parallel_engine", opts, columns, par);
+    std::snprintf(buf, sizeof(buf),
+                  ",\n  \"parallel_speedup_vs_fast\": %.3f",
+                  par.best().wall_seconds > 0.0
+                      ? fast.best().wall_seconds / par.best().wall_seconds
                       : 0.0);
     os << buf;
   }
@@ -159,8 +263,8 @@ int main(int argc, char** argv) {
                   ",\n  \"pre_pr\": {\n    \"wall_seconds\": %.3f,\n"
                   "    \"speedup_vs_pre_pr\": %.3f,\n",
                   pre_pr_wall,
-                  fast_stats.wall_seconds > 0.0
-                      ? pre_pr_wall / fast_stats.wall_seconds
+                  fast.best().wall_seconds > 0.0
+                      ? pre_pr_wall / fast.best().wall_seconds
                       : 0.0);
     os << buf;
     os << "    \"note\": \"" << json_escape(pre_pr_note) << "\"\n  }";
@@ -174,9 +278,13 @@ int main(int argc, char** argv) {
   }
   f << os.str();
   std::printf("wrote %s\n", out_path.c_str());
-  if (pre_pr_wall > 0.0 && fast_stats.wall_seconds > 0.0) {
+  if (pre_pr_wall > 0.0 && fast.best().wall_seconds > 0.0) {
     std::printf("speedup vs pre-PR engine: %.2fx\n",
-                pre_pr_wall / fast_stats.wall_seconds);
+                pre_pr_wall / fast.best().wall_seconds);
+  }
+  if (!skip_parallel && par.best().wall_seconds > 0.0) {
+    std::printf("parallel speedup vs fast: %.2fx\n",
+                fast.best().wall_seconds / par.best().wall_seconds);
   }
   return 0;
 }

@@ -10,12 +10,21 @@
 // that scripts/plot_epochs.py renders; see DESIGN.md "Observability".
 //
 //   ./quickstart [--scale 8] [--refs 200000] [--bench mcf]
-//                [--trace-events redhip-events.jsonl]
+//                [--engine fast|reference|parallel] [--threads N]
+//                [--trace-events redhip-events.jsonl] [--json report.json]
+//
+// --json writes the ReDHiP run's full json_report to a file.  Engines are
+// bit-identical, so the document (and the event trace) must compare equal
+// byte for byte across --engine values — CI's parallel smoke job runs
+// exactly that cmp.
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <string>
 
+#include "common/check.h"
 #include "common/cli.h"
+#include "harness/json_report.h"
 #include "harness/report.h"
 #include "harness/run.h"
 
@@ -29,6 +38,8 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(opts.get_int("refs", 200'000));
   const std::string bench_name = opts.get("bench", "mcf");
   const std::string trace_events = opts.get("trace-events", "");
+  const std::string json_path = opts.get("json", "");
+  const std::string engine = opts.get("engine", "fast");
 
   BenchmarkId bench = BenchmarkId::kMcf;
   for (BenchmarkId id : all_benchmarks()) {
@@ -44,6 +55,16 @@ int main(int argc, char** argv) {
   spec.bench = bench;
   spec.scale = scale;
   spec.refs_per_core = refs;
+  if (engine == "fast") {
+    spec.engine = SimEngine::kFast;
+  } else if (engine == "reference") {
+    spec.engine = SimEngine::kReference;
+  } else if (engine == "parallel") {
+    spec.engine = SimEngine::kParallel;
+  } else {
+    REDHIP_CHECK_MSG(false, "unknown engine: " + engine);
+  }
+  spec.threads = static_cast<std::uint32_t>(opts.get_int("threads", 0));
 
   spec.scheme = Scheme::kBase;
   const SimResult base = run_spec(spec);
@@ -91,6 +112,12 @@ int main(int argc, char** argv) {
                 "  plot it: python3 scripts/plot_epochs.py %s\n",
                 redhip.epochs.size(), trace_events.c_str(),
                 trace_events.c_str());
+  }
+  if (!json_path.empty()) {
+    std::ofstream f(json_path);
+    REDHIP_CHECK_MSG(f.good(), "cannot open " + json_path + " for writing");
+    f << to_json(redhip);
+    std::printf("wrote json_report to %s\n", json_path.c_str());
   }
   return 0;
 }

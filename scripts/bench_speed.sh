@@ -2,14 +2,19 @@
 # Build the tracked speed benchmark and measure end-to-end simulation speed,
 # writing BENCH_speed.json at the repo root.
 #
-# The fast engine is compared against two baselines:
-#   - the in-binary reference engine (the original run loop, kept alive as
-#     the bit-identical oracle), measured on every invocation;
-#   - optionally a pre-PR wall time measured from the seed binary on the
-#     same machine, passed via PRE_PR_WALL (seconds).  The checked-in
-#     BENCH_speed.json was produced with PRE_PR_WALL=29.85, the wall time
-#     of the pre-fast-path engine (commit 28de692) on the same host and
-#     matrix (base+redhip x 11 workloads, refs=1M, scale=8).
+# Three engines are measured on every invocation: fast, the in-binary
+# reference engine (the original run loop, kept alive as the bit-identical
+# oracle), and the parallel bound-weave engine.  Each leg runs REPEAT times
+# and the JSON reports best-of-N alongside median-of-N.  Optionally a
+# pre-PR wall time measured from the seed binary on the same machine is
+# passed via PRE_PR_WALL (seconds); the checked-in BENCH_speed.json's
+# provenance is recorded in its own config block (cpu model, core count,
+# compiler flags — filled in below).
+#
+# Cells run sequentially (--jobs=1) so per-cell wall times are clean and
+# the parallel engine's intra-run threads (--threads, default: all cores)
+# are the only parallelism — cell-level and run-level pools would otherwise
+# nest and oversubscribe the host, making both numbers meaningless.
 #
 # Because this is a same-host measurement, the build is tuned for the host:
 # -march=native plus a two-pass profile-guided build (instrument, run a
@@ -25,9 +30,15 @@
 #                     way the real measurement exercises them)
 #   BUILD_DIR=DIR     build directory (default build-bench)
 #   PRE_PR_WALL=SECS  optional external baseline wall time
+#   REPEAT=N          measurements per engine (default 3; the JSON carries
+#                     best and median)
+#   THREADS=N         parallel-engine worker threads (default 0 = all cores)
+#   JOBS=N            concurrent matrix cells (default 1; see above)
 #
-# Usage: scripts/bench_speed.sh [--refs=N] [--scale=N] [--jobs=N] ...
-#   Extra flags are forwarded to the bench_speed binary.
+# Usage: scripts/bench_speed.sh [--quick] [--refs=N] [--scale=N] ...
+#   --quick: smoke configuration — refs=100k, single repeat (pair with
+#   REDHIP_PGO=0 for a fast turnaround).  Extra flags are forwarded to the
+#   bench_speed binary.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -36,6 +47,19 @@ BUILD_DIR=${BUILD_DIR:-build-bench}
 PGO=${REDHIP_PGO:-1}
 NATIVE=${REDHIP_NATIVE:-1}
 TRAIN_REFS=${TRAIN_REFS:-200000}
+REPEAT=${REPEAT:-3}
+THREADS=${THREADS:-0}
+JOBS=${JOBS:-1}
+
+quick=0
+fwd=()
+for arg in "$@"; do
+  if [[ "$arg" == "--quick" ]]; then quick=1; else fwd+=("$arg"); fi
+done
+if [[ "$quick" == 1 ]]; then
+  REPEAT=1
+  fwd=(--refs=100000 "${fwd[@]}")
+fi
 
 native_flag=OFF
 [[ "$NATIVE" == 1 ]] && native_flag=ON
@@ -54,8 +78,8 @@ if [[ "$PGO" == 1 ]]; then
   configure_and_build "-fprofile-generate=$prof_dir"
   mkdir -p "$prof_dir"
   # Train on the same matrix shape the measurement runs (every workload,
-  # both engines), just with few references per core.
-  "$BUILD_DIR/bench/bench_speed" --refs="$TRAIN_REFS" --scale=8 \
+  # all engines), just with few references per core.
+  "$BUILD_DIR/bench/bench_speed" --refs="$TRAIN_REFS" --scale=8 --jobs=1 \
       --out="$prof_dir/train.json" >/dev/null
   echo "== PGO pass 2/2: optimized rebuild =="
   configure_and_build "-fprofile-use=$prof_dir -fprofile-correction"
@@ -63,10 +87,24 @@ else
   configure_and_build ""
 fi
 
-args=(--out=BENCH_speed.json)
+# Host metadata for the config block: this JSON is committed, so it must
+# say what machine and toolchain produced its numbers.
+cpu_model=$(awk -F': ' '/model name/ {print $2; exit}' /proc/cpuinfo \
+              2>/dev/null || true)
+[[ -n "$cpu_model" ]] || cpu_model="unknown ($(uname -m))"
+flags="-O3"
+[[ "$NATIVE" == 1 ]] && flags="$flags -march=native"
+[[ "$PGO" == 1 ]] && flags="$flags -fprofile-use"
+
+args=(--out=BENCH_speed.json
+      --jobs="$JOBS"
+      --threads="$THREADS"
+      --repeat="$REPEAT"
+      --cpu-model="$cpu_model"
+      --compiler-flags="$flags")
 if [[ -n "${PRE_PR_WALL:-}" ]]; then
   args+=(--pre-pr-wall="$PRE_PR_WALL"
          --pre-pr-note="pre-fast-path engine (seed commit 28de692), same host, base+redhip matrix")
 fi
 
-"$BUILD_DIR/bench/bench_speed" "${args[@]}" "$@"
+"$BUILD_DIR/bench/bench_speed" "${args[@]}" "${fwd[@]}"

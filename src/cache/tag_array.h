@@ -104,6 +104,29 @@ class TagArray {
   // (receiving a writeback is not a use).  Returns false if absent.
   bool mark_dirty(LineAddr line);
 
+  // Whether every piece of per-set state lives inside the packed entries
+  // (LRU with <= 16 ways, the paper machine's configuration).  When true,
+  // save_set/restore_set below capture the *complete* state of one set,
+  // which is what lets the parallel engine speculate hits on this array and
+  // rewind them on a back-invalidation conflict.  Policies with side state
+  // (tree-PLRU, NRU, the random policy's RNG) are not self-contained and
+  // disable speculation (src/sim/parallel.cc falls back to its weave-only
+  // mode).
+  bool state_is_self_contained() const { return embedded_lru_; }
+
+  // Raw per-set state for the parallel engine's speculation undo log; only
+  // meaningful when state_is_self_contained().  `out` must hold ways()
+  // words.  The caller may only bracket mutations that preserve residency
+  // (hit promotions, dirty marks) — the valid count is not re-derived.
+  void save_set(std::uint64_t set, std::uint64_t* out) const {
+    const Entry* e = set_begin(set);
+    for (std::uint32_t w = 0; w < geom_.ways; ++w) out[w] = e[w];
+  }
+  void restore_set(std::uint64_t set, const std::uint64_t* saved) {
+    Entry* e = set_begin(set);
+    for (std::uint32_t w = 0; w < geom_.ways; ++w) e[w] = saved[w];
+  }
+
  private:
   // One way, packed into a single word: bit 0 valid, bit 1 prefetched,
   // bit 2 dirty, bits 3..59 the tag, bits 60..63 the line's LRU rank (only

@@ -1,0 +1,72 @@
+// A small work-queue thread pool used by the experiment harness to run
+// independent simulations concurrently (each simulation is single-threaded
+// and deterministic; parallelism across runs never changes results), and by
+// the parallel engine to run the per-core bound phases of one simulation
+// (see run_phase below and src/sim/parallel.cc).
+//
+// Error discipline: a task that throws no longer takes the process down
+// (an exception escaping a std::thread is std::terminate).  The pool
+// captures the first exception, keeps draining the remaining tasks, and
+// rethrows it from wait_idle()/run_all() — so a 100-run matrix with one
+// poisoned configuration still finishes the other 99 before reporting.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace redhip {
+
+class ThreadPool {
+ public:
+  // 0 = std::thread::hardware_concurrency() (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Throws std::logic_error if the pool is shutting down.
+  void submit(std::function<void()> task);
+  // Block until every submitted task has finished, then rethrow the first
+  // task exception (if any) — the queue is fully drained either way.
+  void wait_idle();
+  // Drain the queue and join every worker.  Idempotent; called by the
+  // destructor.  After shutdown, submit() throws.
+  void shutdown();
+
+  // Phase/barrier support for intra-run engines: run fn(0), ..., fn(n-1)
+  // as one batch and block until every call has finished (a barrier).  The
+  // batch is enqueued under a single lock acquisition with one wakeup
+  // broadcast — an engine issuing thousands of phases per run cares about
+  // per-phase overhead, not just per-task overhead.  `fn` must tolerate
+  // concurrent invocations with distinct indices.  Rethrows the first task
+  // exception after the phase drains, like wait_idle().
+  void run_phase(const std::function<void(std::size_t)>& fn, std::size_t n);
+
+  std::size_t size() const { return workers_.size(); }
+
+  // Convenience: run `tasks` to completion on a fresh pool.  Rethrows the
+  // first task failure after all tasks have run.
+  static void run_all(std::vector<std::function<void()>> tasks,
+                      std::size_t threads = 0);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::exception_ptr first_error_;  // guarded by mu_
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace redhip

@@ -19,9 +19,16 @@ ExperimentOptions ExperimentOptions::parse(const CliOptions& cli) {
   o.csv = cli.get_bool("csv", false);
   o.jobs = static_cast<std::size_t>(cli.get_int("jobs", 0));
   const std::string engine = cli.get("engine", "fast");
-  REDHIP_CHECK_MSG(engine == "fast" || engine == "reference",
-                   "unknown engine: " + engine);
-  o.engine = engine == "fast" ? SimEngine::kFast : SimEngine::kReference;
+  if (engine == "fast") {
+    o.engine = SimEngine::kFast;
+  } else if (engine == "reference") {
+    o.engine = SimEngine::kReference;
+  } else if (engine == "parallel") {
+    o.engine = SimEngine::kParallel;
+  } else {
+    REDHIP_CHECK_MSG(false, "unknown engine: " + engine);
+  }
+  o.threads = static_cast<std::uint32_t>(cli.get_int("threads", 0));
   o.trace_events = cli.get("trace-events", "");
   o.obs_epoch_refs = cli.get_uint64("obs-epoch", 100'000);
   o.cache_dir = cli.get("cache-dir", "");
@@ -41,8 +48,7 @@ ExperimentOptions ExperimentOptions::parse(const CliOptions& cli) {
 
 std::string trace_file_name(BenchmarkId bench, const std::string& column,
                             SimEngine engine) {
-  std::string name = to_string(bench) + "-" + column + "-" +
-                     (engine == SimEngine::kFast ? "fast" : "reference");
+  std::string name = to_string(bench) + "-" + column + "-" + engine_name(engine);
   for (char& c : name) {
     const bool keep = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
                       c == '.' || c == '_' || c == '-';
@@ -76,6 +82,13 @@ double estimated_run_cost(BenchmarkId bench, const SchemeColumn& column) {
   return estimated_run_cost(bench, column.scheme, column.prefetch);
 }
 
+double estimated_run_cost(const RunSpec& spec) {
+  const double scale =
+      static_cast<double>(std::max<std::uint32_t>(spec.scale, 1));
+  return estimated_run_cost(spec.bench, spec.scheme, spec.prefetch) / scale *
+         static_cast<double>(spec.refs_per_core);
+}
+
 std::vector<std::vector<SimResult>> run_matrix(
     const ExperimentOptions& opts, const std::vector<SchemeColumn>& columns,
     MatrixStats* stats) {
@@ -93,18 +106,35 @@ std::vector<std::vector<SimResult>> run_matrix(
   for (std::size_t b = 0; b < opts.benches.size(); ++b) {
     for (std::size_t c = 0; c < columns.size(); ++c) cells.emplace_back(b, c);
   }
+  // The whole-run estimate (working set x refs / scale) rather than the
+  // per-reference one: a single run_matrix call holds scale and refs
+  // constant, but the comparator must stay correct when callers reuse it
+  // over mixed-scale cell lists (the sweep executor does).
+  const auto cell_spec_for_cost = [&](const std::pair<std::size_t,
+                                                      std::size_t>& cell) {
+    RunSpec s;
+    s.bench = opts.benches[cell.first];
+    s.scheme = columns[cell.second].scheme;
+    s.prefetch = columns[cell.second].prefetch;
+    s.scale = opts.scale;
+    s.refs_per_core = opts.refs_per_core;
+    return s;
+  };
   std::stable_sort(cells.begin(), cells.end(),
                    [&](const auto& x, const auto& y) {
-                     return estimated_run_cost(opts.benches[x.first],
-                                               columns[x.second]) >
-                            estimated_run_cost(opts.benches[y.first],
-                                               columns[y.second]);
+                     return estimated_run_cost(cell_spec_for_cost(x)) >
+                            estimated_run_cost(cell_spec_for_cost(y));
                    });
   std::vector<std::function<void()>> tasks;
+  const auto submit_time = std::chrono::steady_clock::now();
   for (const auto& cell : cells) {
     const std::size_t b = cell.first;
     const std::size_t c = cell.second;
-    tasks.push_back([&, b, c] {
+    tasks.push_back([&, b, c, submit_time] {
+      const double queue_wait =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        submit_time)
+              .count();
       RunSpec spec;
       spec.bench = opts.benches[b];
       spec.scheme = columns[c].scheme;
@@ -114,6 +144,7 @@ std::vector<std::vector<SimResult>> run_matrix(
       spec.refs_per_core = opts.refs_per_core;
       spec.seed = opts.seed;
       spec.engine = opts.engine;
+      spec.threads = opts.threads;
       // A run aborted by the invariant auditor under a *transient*
       // injected fault (RecoveryPolicy::kAbortRetry) is retried a bounded
       // number of times with a reseeded fault stream — the simulated
@@ -146,6 +177,7 @@ std::vector<std::vector<SimResult>> run_matrix(
         };
         try {
           results[b][c] = run_spec(spec);
+          results[b][c].queue_wait_seconds = queue_wait;
           break;
         } catch (const TransientFaultError&) {
           if (attempt + 1 >= kMaxTransientAttempts) throw;

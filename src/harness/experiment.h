@@ -19,6 +19,9 @@ struct ExperimentOptions {
   bool csv = false;
   std::size_t jobs = 0;  // 0 = hardware concurrency
   SimEngine engine = SimEngine::kFast;
+  // Worker threads inside each simulation (--engine=parallel only; the
+  // single-threaded engines ignore it).  0 = hardware concurrency.
+  std::uint32_t threads = 0;
   std::vector<BenchmarkId> benches;
   // Observability (src/obs): when `trace_events` names a directory, every
   // matrix cell runs with obs enabled and writes its JSONL event trace to
@@ -36,12 +39,13 @@ struct ExperimentOptions {
   std::string cache_dir;
   bool resume = true;
 
-  // Parses --scale/--refs/--seed/--csv/--jobs/--bench/--engine plus
-  // --trace-events/--obs-epoch and --cache-dir/--resume (or the
+  // Parses --scale/--refs/--seed/--csv/--jobs/--bench/--engine/--threads
+  // plus --trace-events/--obs-epoch and --cache-dir/--resume (or the
   // REDHIP_BENCH_* environment equivalents).  --bench limits the workload
-  // list to one named benchmark; --engine=reference selects the oracle run
-  // loop.  refs and seed are parsed with full 64-bit range (a seed is an
-  // arbitrary u64, and ref counts past 2^31 are legitimate).
+  // list to one named benchmark; --engine selects fast (default), the
+  // reference oracle loop, or the parallel bound-weave engine (--threads
+  // sizes its pool).  refs and seed are parsed with full 64-bit range (a
+  // seed is an arbitrary u64, and ref counts past 2^31 are legitimate).
   static ExperimentOptions parse(const CliOptions& cli);
 };
 
@@ -74,6 +78,13 @@ struct SchemeColumn {
 // depends on it.
 double estimated_run_cost(BenchmarkId bench, Scheme scheme, bool prefetch);
 double estimated_run_cost(BenchmarkId bench, const SchemeColumn& column);
+// Whole-run estimate: the per-reference cost above weighted by the run
+// length and divided by the scale (scale shrinks the working set relative
+// to the hierarchy, so scale-1 cells miss deepest and run longest).  This
+// is the ordering run_matrix and the sweep executor submit by — sweeps mix
+// scales and ref counts in one cell list, so both must participate or a
+// scale-1 straggler lands last and runs alone.
+double estimated_run_cost(const RunSpec& spec);
 
 // Aggregate host-side timing for one run_matrix call.
 struct MatrixStats {

@@ -6,6 +6,15 @@
 
 namespace redhip {
 
+std::string engine_name(SimEngine e) {
+  switch (e) {
+    case SimEngine::kFast: return "fast";
+    case SimEngine::kReference: return "reference";
+    case SimEngine::kParallel: return "parallel";
+  }
+  return "unknown";
+}
+
 HierarchyConfig resolved_config(const RunSpec& spec) {
   HierarchyConfig config =
       HierarchyConfig::scaled(spec.scale, spec.scheme, spec.inclusion);
@@ -26,9 +35,21 @@ SimResult run_spec(const RunSpec& spec) {
     cpis.push_back(workload_cpi_centi(spec.bench, c));
   }
   MulticoreSimulator sim(config, std::move(traces), std::move(cpis));
-  SimResult r = spec.engine == SimEngine::kFast
-                    ? sim.run(spec.refs_per_core)
-                    : sim.run_reference(spec.refs_per_core);
+  SimResult r;
+  switch (spec.engine) {
+    case SimEngine::kFast:
+      r = sim.run(spec.refs_per_core);
+      break;
+    case SimEngine::kReference:
+      r = sim.run_reference(spec.refs_per_core);
+      break;
+    case SimEngine::kParallel: {
+      ParallelOptions po;
+      po.threads = spec.threads;
+      r = sim.run_parallel(spec.refs_per_core, po);
+      break;
+    }
+  }
   r.host_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();

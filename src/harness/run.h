@@ -17,8 +17,12 @@ namespace redhip {
 // (batched traces, specialized loops, heap scheduler); kReference is the
 // original engine kept as the bit-identical oracle — both produce the same
 // statistics (see tests/engine_equivalence_test), kReference just exists to
-// prove it and to anchor bench_speed.
-enum class SimEngine : std::uint8_t { kFast, kReference };
+// prove it and to anchor bench_speed.  kParallel is the intra-run
+// bound-weave engine (src/sim/parallel.cc): per-core private-level work on
+// ThreadPool lanes, shared-level events applied in deterministic order on
+// one thread — same bit-identity contract as the other two.
+enum class SimEngine : std::uint8_t { kFast, kReference, kParallel };
+std::string engine_name(SimEngine e);
 
 struct RunSpec {
   BenchmarkId bench = BenchmarkId::kBwaves;
@@ -29,6 +33,10 @@ struct RunSpec {
   bool prefetch = false;
   std::uint64_t seed = 42;
   SimEngine engine = SimEngine::kFast;
+  // Worker threads for SimEngine::kParallel (0 = hardware concurrency);
+  // ignored by the single-threaded engines.  Never affects results, only
+  // wall time.
+  std::uint32_t threads = 0;
   std::function<void(HierarchyConfig&)> tweak;
 };
 

@@ -28,6 +28,20 @@
 
 namespace redhip {
 
+// Options for MulticoreSimulator::run_parallel (the bound-weave engine,
+// src/sim/parallel.cc).  None of these change simulated results — the
+// engine is bit-identical to run()/run_reference() by construction — they
+// only trade wall time against memory and scheduling overhead.
+struct ParallelOptions {
+  // Worker threads for the bound phases; 0 = hardware concurrency.  The
+  // weave phase always runs on the calling thread.
+  std::uint32_t threads = 0;
+  // Per-lane speculation window: how many references one core may run ahead
+  // of the weave before parking.  Small windows stress the window-boundary
+  // logic (the tests use 2..64); large windows amortize phase barriers.
+  std::uint32_t window_refs = 8192;
+};
+
 class MulticoreSimulator {
  public:
   // `traces[c]` feeds core c; `cpi_centi[c]` prices its non-memory gaps.
@@ -53,6 +67,16 @@ class MulticoreSimulator {
   // run-once restriction (use a fresh instance per engine).
   SimResult run_reference(std::uint64_t max_refs_per_core);
 
+  // The bound-weave parallel engine (src/sim/parallel.cc).  Private levels
+  // of each core run speculatively on ThreadPool lanes over bounded
+  // windows; every shared-level / predictor / memory-bound event is applied
+  // in deterministic (issue cycle, core, sequence) order on the calling
+  // thread.  Bit-identical to run() and run_reference() — statistics,
+  // json_report and the JSONL event trace — for every configuration, at any
+  // thread count.  Same run-once restriction as the other engines.
+  SimResult run_parallel(std::uint64_t max_refs_per_core,
+                         const ParallelOptions& opts = {});
+
   // --- Single-access hooks used by unit tests --------------------------------
   // Execute one reference on one core and return its latency.
   Cycles access_for_test(CoreId core, const MemRef& ref);
@@ -72,6 +96,11 @@ class MulticoreSimulator {
   const HierarchyConfig& config() const { return config_; }
   // Null unless config.obs.enabled (see src/obs/collector.h).
   const ObsCollector* obs_for_test() const { return obs_.get(); }
+  // Parallel-engine diagnostics (valid after run_parallel): whether the run
+  // used lane speculation (vs the weave-only fallback) and how many
+  // speculation windows were rolled back by back-invalidation conflicts.
+  bool parallel_speculated_for_test() const { return par_speculated_; }
+  std::uint64_t parallel_rollbacks_for_test() const { return par_rollbacks_; }
 
  private:
   // How many references a core pulls from its TraceSource per refill.  256
@@ -278,6 +307,39 @@ class MulticoreSimulator {
   Cycles global_stall_cycles_ = 0;
   std::vector<HeapSlot> heap_;
   bool ran_ = false;
+
+  // --- Parallel engine state (src/sim/parallel.cc) ---------------------------
+  struct ParLane;  // per-core speculation lane, defined in parallel.cc
+  // How the weave folds committed speculative L1 hits into the statistics.
+  // Every L1 hit contributes the same {access, tag probe, data probe, hit}
+  // counter delta, so when neither observability nor auto-disable is on the
+  // merge order is irrelevant and hits commit as bulk counter adds; epoch
+  // accounting needs boundary-exact ref counts; full observability needs the
+  // exact per-reference merge (latency histogram + epoch series).
+  enum class ParCommitMode : std::uint8_t { kBulk, kEpochBulk, kOrdered };
+  bool parallel_can_speculate() const;
+  void par_run_speculative(std::uint64_t max_refs_per_core,
+                           const ParallelOptions& opts);
+  void par_run_weave_only(std::uint64_t max_refs_per_core,
+                          const ParallelOptions& opts);
+  // Bound phase: run one lane's L1-hit speculation until it parks (first L1
+  // miss, window cap, or end of its reference quota).  Called concurrently
+  // for distinct lanes; touches only lane/core-private state.
+  void par_lane_step(ParLane& lane, std::uint64_t max_refs_per_core,
+                     std::uint32_t window_refs);
+  // Weave phase: commit entries and apply events in deterministic
+  // (issue cycle, core) order until the globally-next item is a runnable
+  // lane's future reference.
+  void par_weave(std::uint64_t max_refs_per_core, ParCommitMode mode);
+  void par_commit_until(Cycles key, CoreId core, ParCommitMode mode);
+  void par_execute_event(ParLane& lane, std::uint64_t max_refs_per_core);
+  // Conflict hook: called by back_invalidate_core while the speculative
+  // weave is applying an event, before it touches `core`'s L1.  Rolls the
+  // lane back when an uncommitted speculated reference touched `victim`.
+  void par_note_back_invalidate(CoreId core, LineAddr victim);
+  std::vector<ParLane>* par_lanes_ = nullptr;  // non-null during the weave
+  bool par_speculated_ = false;
+  std::uint64_t par_rollbacks_ = 0;
 };
 
 }  // namespace redhip

@@ -48,6 +48,11 @@ struct SimResult {
   // stats_identical — two bit-identical runs never take identical wall time.
   double host_seconds = 0.0;
   double host_mrefs_per_s = 0.0;
+  // How long this run sat queued behind other cells on the executor pool
+  // (run_matrix / run_sweep: submission to task start; 0 when the run never
+  // went through a pool).  Host-side like host_seconds — excluded from
+  // stats_identical and json_report.
+  double queue_wait_seconds = 0.0;
   // Host-side phase timings from the observability layer; excluded from
   // stats_identical for the same reason.
   ObsTiming obs_timing;

@@ -124,24 +124,29 @@ SweepOutcome run_sweep(const SweepSpec& spec, const SweepRunOptions& opt) {
     missing.push_back(i);
   }
 
-  // Longest-estimated-job first, like run_matrix; cells can differ in refs
-  // too, so weigh the per-reference estimate by the cell's run length.
+  // Longest-estimated-job first, like run_matrix.  Sweep cells can differ
+  // in refs *and* scale (a scale axis is the common case), so the whole-run
+  // estimate — per-reference cost x refs / scale — orders them; sorting on
+  // the per-reference cost alone used to leave a scale-1 heavyweight at the
+  // back of the queue running alone after every other cell drained.
   std::stable_sort(missing.begin(), missing.end(),
                    [&](std::size_t a, std::size_t b) {
-                     const RunSpec& x = out.cells[a].spec;
-                     const RunSpec& y = out.cells[b].spec;
-                     return estimated_run_cost(x.bench, x.scheme, x.prefetch) *
-                                static_cast<double>(x.refs_per_core) >
-                            estimated_run_cost(y.bench, y.scheme, y.prefetch) *
-                                static_cast<double>(y.refs_per_core);
+                     return estimated_run_cost(out.cells[a].spec) >
+                            estimated_run_cost(out.cells[b].spec);
                    });
 
   std::vector<std::function<void()>> tasks;
   tasks.reserve(missing.size());
+  const auto submit_time = std::chrono::steady_clock::now();
   for (std::size_t i : missing) {
-    tasks.push_back([&out, i, &cache] {
+    tasks.push_back([&out, i, &cache, submit_time] {
       SweepCell& cell = out.cells[i];
+      const double queue_wait =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        submit_time)
+              .count();
       cell.result = run_cell_with_retry(cell);
+      cell.result.queue_wait_seconds = queue_wait;
       // Persist immediately (atomic temp+rename): a kill from here on
       // cannot cost this cell again.
       if (cache) cache->store(cell.key, cell.result).throw_if_error();

@@ -1,0 +1,402 @@
+// The parallel bound-weave engine (run_parallel, src/sim/parallel.cc) must
+// be bit-identical to the fast engine — same statistics, same event trace —
+// for every configuration, at every thread count and window size.  These
+// tests pin that contract across schemes, inclusion policies, feature
+// masks, window-boundary edge cases, and a randomized property sweep; they
+// also exercise the rollback machinery directly (a config chosen to force
+// back-invalidation conflicts) and the weave-only fallback (fault
+// injection, non-self-contained replacement state).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "harness/run.h"
+#include "sim/stats.h"
+
+namespace redhip {
+namespace {
+
+RunSpec small_spec(BenchmarkId bench, Scheme scheme,
+                   InclusionPolicy inclusion) {
+  RunSpec spec;
+  spec.bench = bench;
+  spec.scheme = scheme;
+  spec.inclusion = inclusion;
+  spec.scale = 8;
+  spec.refs_per_core = 20'000;
+  spec.seed = 1234;
+  return spec;
+}
+
+// Build the simulator for `spec` exactly as run_spec does, for tests that
+// need MulticoreSimulator-level access (ParallelOptions::window_refs, the
+// speculation/rollback diagnostics).
+std::unique_ptr<MulticoreSimulator> make_sim(const RunSpec& spec) {
+  HierarchyConfig config = resolved_config(spec);
+  std::vector<std::unique_ptr<TraceSource>> traces;
+  std::vector<std::uint32_t> cpis;
+  for (CoreId c = 0; c < config.cores; ++c) {
+    traces.push_back(make_workload(spec.bench, c, spec.scale, spec.seed));
+    cpis.push_back(workload_cpi_centi(spec.bench, c));
+  }
+  return std::make_unique<MulticoreSimulator>(config, std::move(traces),
+                                              std::move(cpis));
+}
+
+void expect_identical(const SimResult& fast, const SimResult& par,
+                      const std::string& what) {
+  EXPECT_TRUE(stats_identical(fast, par)) << what;
+  // Spot-check load-bearing counters so a stats_identical bug can't
+  // silently vacuously pass.
+  EXPECT_EQ(fast.total_refs, par.total_refs) << what;
+  EXPECT_EQ(fast.exec_cycles, par.exec_cycles) << what;
+  EXPECT_GT(fast.total_refs, 0u) << what;
+}
+
+// Run the same spec through the fast and parallel engines and require
+// bit-identical stats.
+void expect_parallel_agrees(RunSpec spec, const std::string& what) {
+  spec.engine = SimEngine::kFast;
+  const SimResult fast = run_spec(spec);
+  spec.engine = SimEngine::kParallel;
+  const SimResult par = run_spec(spec);
+  expect_identical(fast, par, what);
+}
+
+TEST(ParallelEngine, EverySchemeInclusive) {
+  for (Scheme s : {Scheme::kBase, Scheme::kPhased, Scheme::kCbf,
+                   Scheme::kRedhip, Scheme::kOracle, Scheme::kPartialTag}) {
+    expect_parallel_agrees(
+        small_spec(BenchmarkId::kMcf, s, InclusionPolicy::kInclusive),
+        "inclusive " + to_string(s));
+  }
+}
+
+TEST(ParallelEngine, ExclusiveAndHybrid) {
+  for (InclusionPolicy p :
+       {InclusionPolicy::kExclusive, InclusionPolicy::kHybrid}) {
+    for (Scheme s : {Scheme::kBase, Scheme::kRedhip}) {
+      expect_parallel_agrees(small_spec(BenchmarkId::kBlas, s, p),
+                             to_string(p) + " " + to_string(s));
+    }
+  }
+}
+
+// Results must not depend on the worker-thread count — including the
+// --threads=1 degenerate pool, where bound phases run inline on the weave
+// thread.
+TEST(ParallelEngine, ThreadCountNeverChangesResults) {
+  RunSpec spec = small_spec(BenchmarkId::kBwaves, Scheme::kRedhip,
+                            InclusionPolicy::kInclusive);
+  spec.engine = SimEngine::kFast;
+  const SimResult fast = run_spec(spec);
+  spec.engine = SimEngine::kParallel;
+  for (std::uint32_t threads : {1u, 2u, 4u}) {
+    spec.threads = threads;
+    const SimResult par = run_spec(spec);
+    expect_identical(fast, par, "threads=" + std::to_string(threads));
+  }
+}
+
+// Every feature mask the fast engine specializes on: fault injection (which
+// forces the parallel engine down the weave-only path), prefetching, and
+// predictor auto-disable.
+TEST(ParallelEngine, AllFeatureMasks) {
+  for (int mask = 0; mask < 8; ++mask) {
+    const bool fault = mask & 1;
+    const bool prefetch = mask & 2;
+    const bool auto_disable = mask & 4;
+    RunSpec spec = small_spec(BenchmarkId::kMcf, Scheme::kRedhip,
+                              InclusionPolicy::kInclusive);
+    spec.prefetch = prefetch;
+    spec.tweak = [fault, auto_disable](HierarchyConfig& config) {
+      if (fault) {
+        config.fault.enabled = true;
+        config.fault.rate_per_mref = 2'000;  // dense enough to fire at 160k
+        config.audit.enabled = true;
+      }
+      if (auto_disable) {
+        config.auto_disable.enabled = true;
+        config.auto_disable.epoch_refs = 5'000;  // several epochs per run
+      }
+    };
+    expect_parallel_agrees(spec, "feature mask " + std::to_string(mask));
+  }
+}
+
+// Degenerate and tiny speculation windows: window_refs=1 parks every lane
+// after a single reference, so the weave phase carries the whole schedule;
+// 2/3 exercise odd log lengths at every boundary.
+TEST(ParallelEngine, TinySpeculationWindows) {
+  RunSpec spec = small_spec(BenchmarkId::kAstar, Scheme::kRedhip,
+                            InclusionPolicy::kInclusive);
+  spec.refs_per_core = 10'000;
+  const SimResult fast = make_sim(spec)->run(spec.refs_per_core);
+  for (std::uint32_t window : {1u, 2u, 3u, 64u}) {
+    auto sim = make_sim(spec);
+    ParallelOptions po;
+    po.window_refs = window;
+    const SimResult par = sim->run_parallel(spec.refs_per_core, po);
+    expect_identical(fast, par, "window=" + std::to_string(window));
+    EXPECT_TRUE(sim->parallel_speculated_for_test())
+        << "window=" << window;
+  }
+}
+
+// Recalibration stalls landing exactly on (and inside) window boundaries:
+// a tiny recalibration interval makes PT recals fire constantly, and
+// window sizes 1..3 put a boundary at every possible alignment, so some
+// recal necessarily coincides with a window edge.  The global stall offset
+// must come out identical either way.
+TEST(ParallelEngine, RecalOnWindowBoundary) {
+  RunSpec spec = small_spec(BenchmarkId::kMcf, Scheme::kRedhip,
+                            InclusionPolicy::kInclusive);
+  spec.refs_per_core = 8'000;
+  spec.tweak = [](HierarchyConfig& config) {
+    config.redhip.recal_interval_l1_misses = 50;
+  };
+  const SimResult fast = make_sim(spec)->run(spec.refs_per_core);
+  for (std::uint32_t window : {1u, 2u, 3u, 128u}) {
+    auto sim = make_sim(spec);
+    ParallelOptions po;
+    po.window_refs = window;
+    const SimResult par = sim->run_parallel(spec.refs_per_core, po);
+    expect_identical(fast, par, "recal window=" + std::to_string(window));
+  }
+}
+
+// Auto-disable epochs deliberately misaligned with the speculation window
+// (epoch 777 refs vs window 512): the predictor toggles mid-window, so the
+// epoch-splitting bulk commit has to cut speculated logs at interior epoch
+// boundaries.
+TEST(ParallelEngine, AutoDisableTogglesMidWindow) {
+  RunSpec spec = small_spec(BenchmarkId::kBwaves, Scheme::kRedhip,
+                            InclusionPolicy::kInclusive);
+  spec.tweak = [](HierarchyConfig& config) {
+    config.auto_disable.enabled = true;
+    config.auto_disable.epoch_refs = 777;
+  };
+  const SimResult fast = make_sim(spec)->run(spec.refs_per_core);
+  auto sim = make_sim(spec);
+  ParallelOptions po;
+  po.window_refs = 512;
+  const SimResult par = sim->run_parallel(spec.refs_per_core, po);
+  expect_identical(fast, par, "auto-disable mid-window");
+}
+
+// Emergency recalibration triggered by the invariant auditor (fault
+// injection + RecoveryPolicy::kRecalibrate): faults force the weave-only
+// path, and the auditor's unscheduled recal stalls must still match.
+TEST(ParallelEngine, EmergencyRecalFromAuditor) {
+  RunSpec spec = small_spec(BenchmarkId::kMcf, Scheme::kRedhip,
+                            InclusionPolicy::kInclusive);
+  spec.tweak = [](HierarchyConfig& config) {
+    config.fault.enabled = true;
+    config.fault.rate_per_mref = 5'000;
+    config.audit.enabled = true;
+    config.audit.policy = RecoveryPolicy::kRecalibrate;
+  };
+  spec.engine = SimEngine::kFast;
+  const SimResult fast = run_spec(spec);
+  auto sim = make_sim(spec);
+  const SimResult par = sim->run_parallel(spec.refs_per_core);
+  expect_identical(fast, par, "auditor emergency recal");
+  // Fault injection perturbs speculated state invisibly, so the engine must
+  // have refused to speculate.
+  EXPECT_FALSE(sim->parallel_speculated_for_test());
+}
+
+// Force back-invalidation conflicts: an LLC barely bigger than one L1 under
+// inclusion evicts L1-resident lines constantly, so speculated windows are
+// repeatedly invalidated and rolled back.  The rollback path must replay to
+// bit-identical results — and must actually run, or this test pins nothing.
+TEST(ParallelEngine, RollbackStressBitIdentical) {
+  RunSpec spec = small_spec(BenchmarkId::kMcf, Scheme::kBase,
+                            InclusionPolicy::kInclusive);
+  spec.refs_per_core = 15'000;
+  spec.tweak = [](HierarchyConfig& config) {
+    CacheGeometry& llc = config.levels.back().geom;
+    llc.size_bytes = config.levels.front().geom.size_bytes * 2;
+  };
+  const SimResult fast = make_sim(spec)->run(spec.refs_per_core);
+  auto sim = make_sim(spec);
+  ParallelOptions po;
+  po.window_refs = 4'096;
+  const SimResult par = sim->run_parallel(spec.refs_per_core, po);
+  expect_identical(fast, par, "rollback stress");
+  EXPECT_TRUE(sim->parallel_speculated_for_test());
+  EXPECT_GT(sim->parallel_rollbacks_for_test(), 0u);
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  EXPECT_TRUE(f.is_open()) << path;
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+// The JSONL event trace must be byte-identical between engines for every
+// feature mask — the observability stream is part of the bit-identity
+// contract, not just the final counters.
+TEST(ParallelEngine, EventTraceByteIdenticalAllMasks) {
+  const std::string dir = testing::TempDir();
+  for (int mask = 0; mask < 8; ++mask) {
+    const bool fault = mask & 1;
+    const bool prefetch = mask & 2;
+    const bool auto_disable = mask & 4;
+    RunSpec spec = small_spec(BenchmarkId::kMcf, Scheme::kRedhip,
+                              InclusionPolicy::kInclusive);
+    spec.refs_per_core = 10'000;
+    spec.prefetch = prefetch;
+    const std::string fast_path =
+        dir + "/par_trace_fast_" + std::to_string(mask) + ".jsonl";
+    const std::string par_path =
+        dir + "/par_trace_par_" + std::to_string(mask) + ".jsonl";
+    auto tweak = [fault, auto_disable](HierarchyConfig& config,
+                                       const std::string& path) {
+      if (fault) {
+        config.fault.enabled = true;
+        config.fault.rate_per_mref = 2'000;
+        config.audit.enabled = true;
+      }
+      if (auto_disable) {
+        config.auto_disable.enabled = true;
+        config.auto_disable.epoch_refs = 3'000;
+      }
+      config.obs.enabled = true;
+      config.obs.epoch_refs = 2'048;
+      config.obs.trace_path = path;
+    };
+    spec.engine = SimEngine::kFast;
+    spec.tweak = [&](HierarchyConfig& c) { tweak(c, fast_path); };
+    const SimResult fast = run_spec(spec);
+    spec.engine = SimEngine::kParallel;
+    spec.tweak = [&](HierarchyConfig& c) { tweak(c, par_path); };
+    const SimResult par = run_spec(spec);
+    expect_identical(fast, par, "trace mask " + std::to_string(mask));
+    const std::string fast_bytes = slurp(fast_path);
+    EXPECT_FALSE(fast_bytes.empty()) << "mask " << mask;
+    EXPECT_EQ(fast_bytes, slurp(par_path)) << "trace mask " << mask;
+  }
+}
+
+// Randomized property test: any sampled (workload, scheme, inclusion,
+// feature mask, window, threads, length, seed) point must agree between
+// the engines.  rng() is consumed directly (not through distributions) so
+// the sampled points are identical on every platform.
+TEST(ParallelEngine, RandomizedPropertyAgreement) {
+  std::mt19937_64 rng(0x5eed'0051ULL);
+  const BenchmarkId benches[] = {BenchmarkId::kMcf, BenchmarkId::kBwaves,
+                                 BenchmarkId::kBlas, BenchmarkId::kAstar,
+                                 BenchmarkId::kPmf};
+  const Scheme schemes[] = {Scheme::kBase, Scheme::kPhased, Scheme::kCbf,
+                            Scheme::kRedhip, Scheme::kPartialTag};
+  const InclusionPolicy policies[] = {InclusionPolicy::kInclusive,
+                                      InclusionPolicy::kExclusive,
+                                      InclusionPolicy::kHybrid};
+  for (int iter = 0; iter < 6; ++iter) {
+    RunSpec spec;
+    spec.bench = benches[rng() % 5];
+    spec.scheme = schemes[rng() % 5];
+    spec.inclusion = policies[rng() % 3];
+    spec.scale = 8;
+    spec.refs_per_core = 5'000 + rng() % 10'000;
+    spec.seed = rng();
+    // Respect the config layer's modeled-combination rules: exclusive
+    // hierarchies support Base/ReDHiP only (of the schemes sampled here)
+    // and no auto-disable; prefetching is inclusive-only; PT fault sites
+    // need the ReDHiP predictor.
+    if (spec.inclusion == InclusionPolicy::kExclusive &&
+        spec.scheme != Scheme::kBase && spec.scheme != Scheme::kRedhip) {
+      spec.scheme = Scheme::kRedhip;
+    }
+    spec.prefetch = (rng() % 2) != 0 &&
+                    spec.inclusion == InclusionPolicy::kInclusive;
+    const bool fault = (rng() % 2) != 0 && spec.scheme == Scheme::kRedhip &&
+                       spec.inclusion != InclusionPolicy::kExclusive;
+    const bool auto_disable = (rng() % 2) != 0 &&
+                              spec.inclusion != InclusionPolicy::kExclusive;
+    const std::uint64_t epoch = 2'000 + rng() % 6'000;
+    spec.tweak = [fault, auto_disable, epoch](HierarchyConfig& config) {
+      if (fault) {
+        config.fault.enabled = true;
+        config.fault.rate_per_mref = 3'000;
+        config.audit.enabled = true;
+      }
+      if (auto_disable) {
+        config.auto_disable.enabled = true;
+        config.auto_disable.epoch_refs = epoch;
+      }
+    };
+    const SimResult fast = make_sim(spec)->run(spec.refs_per_core);
+    auto sim = make_sim(spec);
+    ParallelOptions po;
+    po.threads = 1 + static_cast<std::uint32_t>(rng() % 4);
+    po.window_refs = 16u << (rng() % 9);  // 16 .. 4096
+    const SimResult par = sim->run_parallel(spec.refs_per_core, po);
+    std::ostringstream what;
+    what << "iter " << iter << ": " << to_string(spec.bench) << " "
+         << to_string(spec.scheme) << " " << to_string(spec.inclusion)
+         << " refs=" << spec.refs_per_core << " seed=" << spec.seed
+         << " prefetch=" << spec.prefetch << " fault=" << fault
+         << " auto_disable=" << auto_disable
+         << " threads=" << po.threads << " window=" << po.window_refs;
+    expect_identical(fast, par, what.str());
+  }
+}
+
+// The scheduling-cost estimate must weight run length and scale, not just
+// the per-reference cost — a scale-1 heavyweight or a long run must sort
+// ahead of a short scale-8 one (the bug this fixed: sweeps ordered on the
+// per-reference cost alone, leaving scale-1 stragglers last).
+TEST(ParallelEngine, RunCostOrdersByScaleAndLength) {
+  RunSpec spec = small_spec(BenchmarkId::kMcf, Scheme::kBase,
+                            InclusionPolicy::kInclusive);
+  spec.refs_per_core = 100'000;
+
+  RunSpec big_scale = spec;
+  big_scale.scale = 1;
+  EXPECT_GT(estimated_run_cost(big_scale), estimated_run_cost(spec));
+
+  RunSpec long_run = spec;
+  long_run.refs_per_core = 1'000'000;
+  EXPECT_GT(estimated_run_cost(long_run), estimated_run_cost(spec));
+
+  // The per-reference ordering still shows through at equal scale/length.
+  RunSpec predictor = spec;
+  predictor.scheme = Scheme::kRedhip;
+  EXPECT_GT(estimated_run_cost(predictor), estimated_run_cost(spec));
+}
+
+// queue_wait_seconds is host-side telemetry: run_matrix fills it, and like
+// host_seconds it must never participate in the bit-identity contract.
+TEST(ParallelEngine, QueueWaitIsHostSideOnly) {
+  ExperimentOptions opts;
+  opts.scale = 8;
+  opts.refs_per_core = 2'000;
+  opts.jobs = 1;
+  opts.benches = {BenchmarkId::kBlas};
+  std::vector<SchemeColumn> columns(1);
+  columns[0].label = "base";
+  columns[0].scheme = Scheme::kBase;
+  const auto results = run_matrix(opts, columns);
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_EQ(results[0].size(), 1u);
+  EXPECT_GE(results[0][0].queue_wait_seconds, 0.0);
+
+  SimResult a = results[0][0];
+  SimResult b = a;
+  b.queue_wait_seconds = a.queue_wait_seconds + 123.0;
+  EXPECT_TRUE(stats_identical(a, b));
+}
+
+}  // namespace
+}  // namespace redhip
