@@ -24,20 +24,30 @@
 // (scripts/bench_speed.sh fills both; the compiler version itself is baked
 // in at build time).
 //
+// A fourth leg re-measures the fast engine with periodic checkpointing on
+// (src/ckpt, interval from --ckpt-interval) and reports the paired
+// CPU-time overhead as `ckpt.overhead_pct` — the crash-safety tax,
+// budgeted at <= 2%.
+// Checkpointing must not change a single statistic, so the leg is also
+// checked cell-by-cell against the uninstrumented fast run.
+//
 // Usage: bench_speed [--scale=8] [--refs=1000000] [--seed=42] [--jobs=N]
 //                    [--threads=N] [--repeat=N] [--out=BENCH_speed.json]
 //                    [--cpu-model=TEXT] [--compiler-flags=TEXT]
 //                    [--pre-pr-wall=SECONDS] [--pre-pr-note=TEXT]
-//                    [--skip-reference] [--skip-parallel]
+//                    [--skip-reference] [--skip-parallel] [--skip-ckpt]
+//                    [--ckpt-interval=REFS]
 #include <algorithm>
 #include <cstdio>
-#include <fstream>
+#include <ctime>
+#include <filesystem>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/cli.h"
+#include "common/file_io.h"
 #include "harness/experiment.h"
 #include "sim/stats.h"
 
@@ -157,6 +167,14 @@ int main(int argc, char** argv) {
   const std::string pre_pr_note = cli.get("pre-pr-note", "");
   const bool skip_reference = cli.get_bool("skip-reference", false);
   const bool skip_parallel = cli.get_bool("skip-parallel", false);
+  const bool skip_ckpt = cli.get_bool("skip-ckpt", false);
+  // Default: one mid-run save per 8M-ref bench cell.  A save is a few ms
+  // (bulk little-endian serialize + checksum + atomic write of a ~2MB file
+  // at scale 8), so this lands well under the 2% budget while still
+  // writing a real checkpoint in every cell; crank the interval down only
+  // when a tighter kill -9 loss bound is worth measuring.
+  const std::uint64_t ckpt_interval =
+      cli.get_uint64("ckpt-interval", 4'000'000);
   const std::uint32_t repeat = static_cast<std::uint32_t>(
       std::max<long long>(1, cli.get_int("repeat", 1)));
   const std::string cpu_model = cli.get("cpu-model", "unknown");
@@ -202,6 +220,61 @@ int main(int argc, char** argv) {
     if (!skip_parallel) ++engines;
     std::printf("engines bit-identical across all %zu runs (%zu engines)\n",
                 opts.benches.size() * columns.size(), engines);
+  }
+
+  // Crash-safety tax: the fast engine again, now writing a checkpoint every
+  // --ckpt-interval aggregate refs.  The directory is wiped before every
+  // repeat so no repeat restores what the previous one wrote — each one
+  // measures a full run including every checkpoint write.
+  //
+  // The overhead is a paired measurement on process CPU time: each repeat
+  // runs a plain matrix and a checkpointing matrix back to back and keeps
+  // the CPU-time ratio of that pair (median over repeats).  Wall clock is
+  // useless for a ~1% effect on shared hosts — run-to-run scheduler and
+  // frequency variance is an order of magnitude larger — while CPU time is
+  // immune to steal time and still charges everything a checkpoint costs
+  // (serialize, checksum, page-cache write).
+  EngineLeg ckpt;
+  double ckpt_overhead_pct = 0.0;
+  if (!skip_ckpt) {
+    const std::filesystem::path ckpt_dir =
+        std::filesystem::temp_directory_path() / "redhip_bench_speed_ckpt";
+    ExperimentOptions copts = opts;
+    copts.engine = SimEngine::kFast;
+    copts.ckpt_dir = ckpt_dir.string();
+    copts.ckpt_interval = ckpt_interval;
+    const auto cpu_now = [] {
+      return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+    };
+    std::vector<double> ratios;
+    for (std::uint32_t r = 0; r < repeat; ++r) {
+      const double p0 = cpu_now();
+      run_matrix(opts, columns, nullptr);
+      const double plain_cpu = cpu_now() - p0;
+      std::filesystem::remove_all(ckpt_dir);
+      MatrixStats stats;
+      const double c0 = cpu_now();
+      auto results = run_matrix(copts, columns, &stats);
+      const double ckpt_cpu = cpu_now() - c0;
+      if (r == 0) ckpt.results = std::move(results);
+      ckpt.reps.push_back(stats);
+      if (plain_cpu > 0.0) ratios.push_back(ckpt_cpu / plain_cpu);
+    }
+    std::filesystem::remove_all(ckpt_dir);
+    if (!ratios.empty()) {
+      std::sort(ratios.begin(), ratios.end());
+      ckpt_overhead_pct = (ratios[ratios.size() / 2] - 1.0) * 100.0;
+    }
+    std::printf("fast + ckpt:      %.3fs best / %.3fs median of %u  "
+                "(cpu overhead %+.2f%%, interval %llu refs)\n",
+                ckpt.best().wall_seconds, ckpt.median_wall(), repeat,
+                ckpt_overhead_pct,
+                static_cast<unsigned long long>(ckpt_interval));
+    // Checkpointing must be invisible in the statistics — a perturbed run
+    // would make the overhead number (and the feature) meaningless.
+    if (!check_identical(opts, columns, fast, ckpt, "fast", "fast+ckpt")) {
+      return 1;
+    }
   }
 
   std::ostringstream os;
@@ -258,6 +331,15 @@ int main(int argc, char** argv) {
                       : 0.0);
     os << buf;
   }
+  if (!skip_ckpt) {
+    std::snprintf(buf, sizeof(buf),
+                  ",\n  \"ckpt\": {\n    \"interval_refs\": %llu,\n"
+                  "    \"matrix_wall_seconds\": %.3f,\n"
+                  "    \"overhead_pct\": %.2f\n  }",
+                  static_cast<unsigned long long>(ckpt_interval),
+                  ckpt.best().wall_seconds, ckpt_overhead_pct);
+    os << buf;
+  }
   if (pre_pr_wall > 0.0) {
     std::snprintf(buf, sizeof(buf),
                   ",\n  \"pre_pr\": {\n    \"wall_seconds\": %.3f,\n"
@@ -271,12 +353,12 @@ int main(int argc, char** argv) {
   }
   os << "\n}\n";
 
-  std::ofstream f(out_path);
-  if (!f) {
-    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+  // Atomic temp+rename: a committed BENCH_speed.json is never half-written.
+  const Status wst = write_file_atomic(out_path, os.str());
+  if (!wst.ok()) {
+    std::fprintf(stderr, "%s\n", wst.to_string().c_str());
     return 1;
   }
-  f << os.str();
   std::printf("wrote %s\n", out_path.c_str());
   if (pre_pr_wall > 0.0 && fast.best().wall_seconds > 0.0) {
     std::printf("speedup vs pre-PR engine: %.2fx\n",

@@ -14,6 +14,13 @@
 // (exit 1) if anything had to simulate — the CI freshness check.  --report
 // writes the JSON report (--csv switches the printed tables and the report
 // to CSV).
+//
+// Crash safety: --ckpt-dir checkpoints every simulating cell
+// (--ckpt-interval N refs between saves); --warmup-refs W writes a shared
+// warmup checkpoint at W aggregate refs that cells differing only in refs
+// or engine restore instead of replaying the prefix; --cell-timeout S
+// aborts a cell after S seconds wall (retried once, then reported and
+// exit 1).
 #include <algorithm>
 #include <cstdio>
 
@@ -52,11 +59,25 @@ int main(int argc, char** argv) {
   ro.cache_dir = opts.cache_dir;
   ro.resume = opts.resume;
   ro.jobs = opts.jobs;
+  // Crash-safe cells: --ckpt-dir enables per-cell checkpoint/restore,
+  // --ckpt-interval the periodic save, --warmup-refs the shared warmup
+  // checkpoint (cells differing only in refs or engine start from it), and
+  // --cell-timeout the per-cell watchdog (see SweepRunOptions).
+  ro.ckpt_dir = opts.ckpt_dir;
+  ro.ckpt_interval = opts.ckpt_interval;
+  ro.warmup_refs = cli.get_uint64("warmup-refs", 0);
+  ro.cell_timeout = opts.cell_timeout;
   const SweepOutcome out = run_sweep(spec, ro);
 
   std::printf("sweep: cells=%zu cache_hits=%zu simulated=%zu wall=%.2fs\n",
               out.stats.cells, out.stats.cache_hits, out.stats.simulated,
               out.stats.wall_seconds);
+  std::size_t timed_out = 0;
+  for (const SweepCell& cell : out.cells) {
+    if (cell.status.ok()) continue;
+    ++timed_out;
+    std::fprintf(stderr, "cell failed: %s\n", cell.status.to_string().c_str());
+  }
 
   // Per-axis sensitivity: the headline metrics averaged over every other
   // axis — the quick read on which knob matters.
@@ -128,5 +149,6 @@ int main(int argc, char** argv) {
                  out.stats.simulated, out.stats.cells);
     return 1;
   }
-  return 0;
+  // Timed-out cells poison any aggregate computed over them; fail loudly.
+  return timed_out > 0 ? 1 : 0;
 }

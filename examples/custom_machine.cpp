@@ -7,10 +7,10 @@
 //
 //   ./custom_machine [--config machine.cfg] [--bench milc] [--refs 200000]
 #include <cstdio>
-#include <fstream>
 #include <string>
 
 #include "common/cli.h"
+#include "common/file_io.h"
 #include "harness/config_file.h"
 #include "harness/report.h"
 #include "harness/run.h"
@@ -58,8 +58,9 @@ int main(int argc, char** argv) {
 
   if (path.empty()) {
     path = "/tmp/redhip_sample_machine.cfg";
-    std::ofstream out(path);
-    out << kSampleConfig;
+    // Atomic temp+rename: a concurrent run of this example never loads a
+    // half-written sample.
+    write_file_atomic(path, kSampleConfig).throw_if_error();
     std::printf("no --config given; wrote a sample 3-level machine to %s\n\n",
                 path.c_str());
   }

@@ -12,18 +12,27 @@
 //   ./quickstart [--scale 8] [--refs 200000] [--bench mcf]
 //                [--engine fast|reference|parallel] [--threads N]
 //                [--trace-events redhip-events.jsonl] [--json report.json]
+//                [--ckpt-file run.ckpt] [--ckpt-interval N] [--ckpt-restore]
 //
 // --json writes the ReDHiP run's full json_report to a file.  Engines are
 // bit-identical, so the document (and the event trace) must compare equal
 // byte for byte across --engine values — CI's parallel smoke job runs
 // exactly that cmp.
+//
+// --ckpt-file makes the ReDHiP run crash-safe: SIGTERM/SIGINT checkpoint
+// at the next safe boundary and exit with code 75; --ckpt-interval N also
+// checkpoints every N aggregate references, so even kill -9 loses at most
+// one interval.  Rerunning with --ckpt-restore resumes from the file and
+// produces output bit-identical to an uninterrupted run — CI's
+// crash-recovery job SIGKILLs this binary mid-run and cmp's the reports.
 #include <algorithm>
 #include <cstdio>
-#include <fstream>
 #include <string>
 
+#include "ckpt/checkpoint_io.h"
 #include "common/check.h"
 #include "common/cli.h"
+#include "common/file_io.h"
 #include "harness/json_report.h"
 #include "harness/report.h"
 #include "harness/run.h"
@@ -40,11 +49,21 @@ int main(int argc, char** argv) {
   const std::string trace_events = opts.get("trace-events", "");
   const std::string json_path = opts.get("json", "");
   const std::string engine = opts.get("engine", "fast");
+  const std::string ckpt_file = opts.get("ckpt-file", "");
+  const std::uint64_t ckpt_interval = opts.get_uint64("ckpt-interval", 0);
+  const bool ckpt_restore = opts.get_bool("ckpt-restore", false);
 
   BenchmarkId bench = BenchmarkId::kMcf;
   for (BenchmarkId id : all_benchmarks()) {
     if (to_string(id) == bench_name) bench = id;
   }
+
+  // Catch SIGTERM/SIGINT from the start: a stop request during the Base leg
+  // (which never polls) must not kill the process with the default action —
+  // it latches the flag, and the ReDHiP leg checkpoints at its first safe
+  // boundary and exits 75.
+  const std::atomic<bool>* stop_flag =
+      ckpt_file.empty() ? nullptr : install_shutdown_flag();
 
   std::printf("ReDHiP quickstart: %s, 8 cores, 4-level hierarchy (1/%u "
               "scale), %llu refs/core\n\n",
@@ -77,7 +96,26 @@ int main(int argc, char** argv) {
       hc.obs.trace_path = trace_events;
     };
   }
-  const SimResult redhip = run_spec(spec);
+  // Crash safety covers the ReDHiP leg only: one checkpoint file holds one
+  // configuration (the key embeds the config digest), and the ReDHiP run is
+  // the long, instrumented one worth resuming.  A kill during the short
+  // Base leg just replays it.
+  SimResult redhip;
+  if (!ckpt_file.empty()) {
+    spec.ckpt_path = ckpt_file;
+    spec.ckpt_interval_refs = ckpt_interval;
+    spec.ckpt_restore = ckpt_restore;
+    spec.stop_flag = stop_flag;
+    try {
+      redhip = run_spec(spec);
+    } catch (const GracefulShutdownRequest& e) {
+      std::printf("\n%s — rerun with --ckpt-restore to resume from %s\n",
+                  e.what(), ckpt_file.c_str());
+      return kGracefulShutdownExitCode;
+    }
+  } else {
+    redhip = run_spec(spec);
+  }
   const Comparison c = compare(base, redhip);
 
   std::printf("hierarchy hit rates under Base:   L1 %s  L2 %s  L3 %s  L4 %s\n",
@@ -114,9 +152,8 @@ int main(int argc, char** argv) {
                 trace_events.c_str());
   }
   if (!json_path.empty()) {
-    std::ofstream f(json_path);
-    REDHIP_CHECK_MSG(f.good(), "cannot open " + json_path + " for writing");
-    f << to_json(redhip);
+    // Atomic temp+rename: nothing ever reads a half-written report.
+    write_file_atomic(json_path, to_json(redhip)).throw_if_error();
     std::printf("wrote json_report to %s\n", json_path.c_str());
   }
   return 0;

@@ -127,6 +127,20 @@ class TagArray {
     for (std::uint32_t w = 0; w < geom_.ways; ++w) e[w] = saved[w];
   }
 
+  // Whole-array snapshot for checkpoint/restore — the array-granularity
+  // sibling of save_set/restore_set, under the same gate: the packed
+  // entries are the *complete* state only when state_is_self_contained()
+  // (src/ckpt refuses to checkpoint otherwise).  Restore recounts the
+  // valid-line tally from the valid bits rather than trusting the caller.
+  const std::vector<std::uint64_t>& ckpt_entries() const { return entries_; }
+  bool ckpt_restore_entries(const std::vector<std::uint64_t>& entries) {
+    if (entries.size() != entries_.size()) return false;
+    entries_ = entries;
+    valid_count_ = 0;
+    for (std::uint64_t e : entries_) valid_count_ += e & kValidBit;
+    return true;
+  }
+
  private:
   // One way, packed into a single word: bit 0 valid, bit 1 prefetched,
   // bit 2 dirty, bits 3..59 the tag, bits 60..63 the line's LRU rank (only

@@ -1,0 +1,77 @@
+#include "ckpt/checkpoint_io.h"
+
+#include <csignal>
+#include <filesystem>
+
+#include "common/bytestream.h"
+#include "common/file_io.h"
+#include "common/fnv.h"
+
+namespace redhip {
+
+namespace {
+
+constexpr FileEnvelope kEnvelope{"RDHPCKPT", kCkptSchemaVersion, "checkpoint"};
+
+std::atomic<bool> g_stop_requested{false};
+
+void handle_shutdown_signal(int) {
+  // Async-signal-safe: a lock-free atomic store and nothing else.  The run
+  // notices at its next safe boundary, checkpoints, and exits 75.
+  g_stop_requested.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+std::uint64_t ckpt_key(const std::string& bench, std::uint32_t scale,
+                       std::uint64_t seed, std::uint64_t config_dig) {
+  Fnv1a h;
+  h.str("redhip-ckpt");
+  h.u32(kCkptSchemaVersion);
+  h.str(bench);
+  h.u32(scale);
+  h.u64(seed);
+  h.u64(config_dig);
+  return h.digest();
+}
+
+Status save_checkpoint(const MulticoreSimulator& sim, const std::string& path,
+                       std::uint64_t key) {
+  ByteWriter w;
+  sim.ckpt_serialize(w);
+  const std::string payload(reinterpret_cast<const char*>(w.buffer().data()),
+                            w.buffer().size());
+  return write_file_atomic(path, seal_envelope(kEnvelope, key, payload));
+}
+
+Status load_checkpoint(const std::string& path, std::uint64_t key,
+                       MulticoreSimulator& sim) {
+  Result<std::string> payload = open_envelope(kEnvelope, key, path);
+  if (!payload.ok()) return payload.status();
+  ByteReader r(reinterpret_cast<const std::uint8_t*>(payload.value().data()),
+               payload.value().size());
+  if (!sim.ckpt_restore_payload(r)) {
+    return Status(StatusCode::kDataLoss,
+                  std::string(kEnvelope.what) + " entry " + path +
+                      ": payload does not match this configuration");
+  }
+  if (!r.exhausted()) {
+    return Status(StatusCode::kDataLoss, std::string(kEnvelope.what) +
+                                             " entry " + path +
+                                             ": trailing bytes after payload");
+  }
+  return Status::Ok();
+}
+
+bool evict_checkpoint(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::remove(path, ec) && !ec;
+}
+
+const std::atomic<bool>* install_shutdown_flag() {
+  std::signal(SIGTERM, handle_shutdown_signal);
+  std::signal(SIGINT, handle_shutdown_signal);
+  return &g_stop_requested;
+}
+
+}  // namespace redhip

@@ -1,0 +1,67 @@
+// Crash-safe checkpoint files.
+//
+// A checkpoint is a full simulator-state snapshot taken at a safe boundary
+// (see sim/ckpt_control.h), wrapped in the same self-validating envelope
+// the sweep result cache uses: magic, schema version, an embedded identity
+// key, payload length, and a payload checksum.  Files are published only
+// by atomic temp+rename, so a kill -9 at any instant leaves either the
+// previous complete checkpoint or the new complete one — never a torn
+// hybrid.  Anything that fails validation on load is DATA_LOSS: the caller
+// evicts the file and cold-starts rather than ever trusting it.
+//
+// The payload codec itself lives in sim_state.cc (member functions of
+// MulticoreSimulator, so the format can reach private state); this header
+// is the file-level API the harness and sweep drive.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "sim/simulator.h"
+
+namespace redhip {
+
+// Bump whenever the payload layout (sim_state.cc) or envelope shape
+// changes; older files then fail validation and are evicted as DATA_LOSS.
+inline constexpr std::uint32_t kCkptSchemaVersion = 1;
+
+// Process exit code for a graceful shutdown (SIGTERM/SIGINT observed, state
+// checkpointed, run intentionally incomplete).  EX_TEMPFAIL by convention:
+// rerun with --ckpt-restore to continue.
+inline constexpr int kGracefulShutdownExitCode = 75;
+
+// Identity of a checkpoint: which runs may restore it.  Deliberately
+// excludes refs_per_core and the engine — a checkpoint taken at N executed
+// references is a valid prefix of any longer run on any engine (all three
+// are bit-identical), which is what lets sweep cells share one warmup
+// checkpoint.  Includes everything that shapes simulated state evolution:
+// benchmark, scale, seed, and the full config digest.
+std::uint64_t ckpt_key(const std::string& bench, std::uint32_t scale,
+                       std::uint64_t seed, std::uint64_t config_dig);
+
+// Serialize `sim` (which must be at a safe boundary) and publish it to
+// `path` atomically.
+Status save_checkpoint(const MulticoreSimulator& sim, const std::string& path,
+                       std::uint64_t key);
+
+// Validate the checkpoint at `path` and apply it to `sim`, which must be
+// freshly constructed (same workload recipe, not yet run); its trace
+// sources are fast-forwarded to the checkpointed positions.  Returns
+// NOT_FOUND when no file exists and DATA_LOSS on any validation or
+// structural failure — in the DATA_LOSS case `sim` may be partially
+// mutated and must be discarded (construct a fresh one and cold-start).
+Status load_checkpoint(const std::string& path, std::uint64_t key,
+                       MulticoreSimulator& sim);
+
+// Remove a checkpoint that failed validation (or is no longer wanted).
+// Returns true when a file was actually removed.
+bool evict_checkpoint(const std::string& path);
+
+// Install SIGTERM/SIGINT handlers that set the returned stop flag; wire it
+// into CkptControl::stop_flag for a checkpoint-then-exit shutdown at the
+// next safe boundary.  Idempotent; the flag outlives every run.
+const std::atomic<bool>* install_shutdown_flag();
+
+}  // namespace redhip

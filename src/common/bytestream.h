@@ -1,0 +1,179 @@
+// ByteWriter / ByteReader — explicit little-endian (de)serialization.
+//
+// Shared by the sweep result cache (.rdc entries) and the checkpoint codec
+// (.ckpt files).  Values are written byte by byte in a fixed order, so a
+// payload is a pure function of the logical values — the same on every
+// host regardless of native byte order or struct padding.  The reader is
+// fail-latching: any out-of-bounds read flips ok() to false and every
+// subsequent read returns zero, so deserializers can run to completion and
+// check ok() once at the end instead of branching per field.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace redhip {
+
+// Untrusted on-disk lengths are bounded before any allocation so a corrupt
+// length field cannot demand gigabytes.  16M elements is far above anything
+// either codec legitimately stores per vector.
+inline constexpr std::uint64_t kMaxVectorLen = 1u << 24;
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) {
+    for (int i = 0; i < 2; ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v & 0xff));
+      v = static_cast<std::uint16_t>(v >> 8);
+    }
+  }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v & 0xff));
+      v >>= 8;
+    }
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v & 0xff));
+      v >>= 8;
+    }
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+  void str(const std::string& s) {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+  void u64_vec(const std::vector<std::uint64_t>& v) {
+    u64(v.size());
+    // Word vectors carry the bulk of a checkpoint (tag arrays, table rows),
+    // so on a little-endian host the wire format equals the in-memory
+    // layout and one memcpy replaces 8 push_backs per word.  The big-endian
+    // fallback keeps the format host-independent.
+    if constexpr (std::endian::native == std::endian::little) {
+      bytes(v.data(), v.size() * sizeof(std::uint64_t));
+    } else {
+      for (std::uint64_t x : v) u64(x);
+    }
+  }
+
+  const std::vector<std::uint8_t>& buffer() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t n)
+      : data_(data), size_(n) {}
+
+  std::uint8_t u8() {
+    if (!need(1)) return 0;
+    return data_[pos_++];
+  }
+  std::uint16_t u16() {
+    if (!need(2)) return 0;
+    std::uint16_t v = 0;
+    for (int i = 0; i < 2; ++i) {
+      v = static_cast<std::uint16_t>(
+          v | static_cast<std::uint16_t>(data_[pos_++]) << (8 * i));
+    }
+    return v;
+  }
+  std::uint32_t u32() {
+    if (!need(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+    }
+    return v;
+  }
+  std::uint64_t u64() {
+    if (!need(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+    }
+    return v;
+  }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  bool boolean() { return u8() != 0; }
+  std::string str() {
+    const std::uint64_t n = u64();
+    if (n > kMaxVectorLen || !need(n)) {
+      ok_ = false;
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(data_ + pos_),
+                  static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
+    return s;
+  }
+  std::vector<std::uint64_t> u64_vec() {
+    const std::uint64_t n = u64();
+    if (n > kMaxVectorLen) {
+      ok_ = false;
+      return {};
+    }
+    std::vector<std::uint64_t> v;
+    if constexpr (std::endian::native == std::endian::little) {
+      if (!need(n * sizeof(std::uint64_t))) return {};
+      v.resize(static_cast<std::size_t>(n));
+      std::memcpy(v.data(), data_ + pos_, n * sizeof(std::uint64_t));
+      pos_ += static_cast<std::size_t>(n) * sizeof(std::uint64_t);
+    } else {
+      v.reserve(static_cast<std::size_t>(n));
+      for (std::uint64_t i = 0; i < n && ok_; ++i) v.push_back(u64());
+    }
+    return v;
+  }
+  bool raw(void* out, std::size_t n) {
+    if (!need(n)) return false;
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  bool ok() const { return ok_; }
+  bool exhausted() const { return pos_ == size_; }
+  std::size_t remaining() const { return size_ - pos_; }
+
+ private:
+  bool need(std::uint64_t n) {
+    if (!ok_ || n > size_ - pos_) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace redhip

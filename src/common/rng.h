@@ -84,6 +84,17 @@ class Xoshiro256 {
   // (integer arithmetic; used for run lengths in generators).
   std::uint64_t burst(std::uint64_t mean, std::uint64_t max);
 
+  // Raw state access for checkpoint/restore.  Restoring a saved state
+  // continues the exact output sequence the source generator would have
+  // produced — the whole point of checkpointing a stochastic stream.
+  struct State {
+    std::uint64_t s[4];
+  };
+  State state() const { return {{s_[0], s_[1], s_[2], s_[3]}}; }
+  void set_state(const State& st) {
+    for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+  }
+
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

@@ -24,6 +24,7 @@ enum class StatusCode : std::uint8_t {
   kNotFound,            // a named resource does not exist
   kDataLoss,            // bytes are missing or corrupt (truncation, bad magic)
   kFailedPrecondition,  // the operation is illegal in the current state
+  kDeadlineExceeded,    // the operation ran past its wall-clock budget
   kInternal,            // everything else
 };
 std::string to_string(StatusCode code);
@@ -98,6 +99,8 @@ inline std::string to_string(StatusCode code) {
       return "DATA_LOSS";
     case StatusCode::kFailedPrecondition:
       return "FAILED_PRECONDITION";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
     case StatusCode::kInternal:
       return "INTERNAL";
   }

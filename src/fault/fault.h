@@ -113,6 +113,28 @@ class FaultInjector {
   FaultStats& stats() { return stats_; }
   const FaultStats& stats() const { return stats_; }
 
+  // Checkpoint/restore: the five substream cursors plus the stats block are
+  // the injector's complete state — restoring them continues the exact
+  // fault sequence the interrupted run would have produced.
+  struct CkptState {
+    Xoshiro256::State streams[5];  // pt_clear, pt_set, recal_drop,
+                                   // trace_addr, payload — in that order
+    FaultStats stats;
+  };
+  CkptState ckpt_state() const {
+    return {{pt_clear_.state(), pt_set_.state(), recal_drop_.state(),
+             trace_addr_.state(), payload_.state()},
+            stats_};
+  }
+  void ckpt_restore(const CkptState& st) {
+    pt_clear_.set_state(st.streams[0]);
+    pt_set_.set_state(st.streams[1]);
+    recal_drop_.set_state(st.streams[2]);
+    trace_addr_.set_state(st.streams[3]);
+    payload_.set_state(st.streams[4]);
+    stats_ = st.stats;
+  }
+
  private:
   Xoshiro256& stream(FaultSite site);
 

@@ -33,6 +33,10 @@ ExperimentOptions ExperimentOptions::parse(const CliOptions& cli) {
   o.obs_epoch_refs = cli.get_uint64("obs-epoch", 100'000);
   o.cache_dir = cli.get("cache-dir", "");
   o.resume = cli.get_bool("resume", true);
+  o.ckpt_dir = cli.get("ckpt-dir", "");
+  o.ckpt_interval = cli.get_uint64("ckpt-interval", 0);
+  o.cell_timeout = cli.get_double("cell-timeout", 0.0);
+  REDHIP_CHECK_MSG(o.cell_timeout >= 0.0, "--cell-timeout must be >= 0");
   REDHIP_CHECK_MSG(o.obs_epoch_refs > 0, "--obs-epoch must be positive");
   const std::string bench = cli.get("bench", "");
   if (bench.empty()) {
@@ -55,6 +59,13 @@ std::string trace_file_name(BenchmarkId bench, const std::string& column,
     if (!keep) c = '_';
   }
   return name + ".jsonl";
+}
+
+std::string ckpt_file_name(BenchmarkId bench, const std::string& column,
+                           SimEngine engine) {
+  std::string name = trace_file_name(bench, column, engine);
+  name.erase(name.size() - 6);  // ".jsonl"
+  return name + ".ckpt";
 }
 
 double estimated_run_cost(BenchmarkId bench, Scheme scheme, bool prefetch) {
@@ -91,13 +102,20 @@ double estimated_run_cost(const RunSpec& spec) {
 
 std::vector<std::vector<SimResult>> run_matrix(
     const ExperimentOptions& opts, const std::vector<SchemeColumn>& columns,
-    MatrixStats* stats) {
+    MatrixStats* stats, std::vector<std::vector<Status>>* cell_status) {
   const auto start = std::chrono::steady_clock::now();
   if (!opts.trace_events.empty()) {
     std::filesystem::create_directories(opts.trace_events);
   }
+  if (!opts.ckpt_dir.empty()) {
+    std::filesystem::create_directories(opts.ckpt_dir);
+  }
   std::vector<std::vector<SimResult>> results(
       opts.benches.size(), std::vector<SimResult>(columns.size()));
+  if (cell_status != nullptr) {
+    cell_status->assign(opts.benches.size(),
+                        std::vector<Status>(columns.size()));
+  }
   // Longest-job-first: order the (bench, column) pairs by estimated cost so
   // the pool never finishes its queue with one slow straggler running
   // alone.  results[b][c] indexing is unaffected — only submission order
@@ -162,25 +180,54 @@ std::vector<std::vector<SimResult>> run_matrix(
              trace_file_name(opts.benches[b], columns[c].label, opts.engine))
                 .string();
       }
-      for (std::uint32_t attempt = 0;; ++attempt) {
+      if (!opts.ckpt_dir.empty()) {
+        spec.ckpt_path =
+            (std::filesystem::path(opts.ckpt_dir) /
+             ckpt_file_name(opts.benches[b], columns[c].label, opts.engine))
+                .string();
+        spec.ckpt_interval_refs = opts.ckpt_interval;
+        spec.ckpt_restore = true;
+      }
+      spec.deadline_seconds = opts.cell_timeout;
+      // A fault-reseeded attempt changes the config digest, so a restored
+      // checkpoint from an earlier attempt naturally misses (wrong key) —
+      // the retry cold-starts instead of replaying the aborted prefix.
+      std::uint32_t fault_attempt = 0;
+      bool deadline_retried = false;
+      for (;;) {
         const auto base_tweak = columns[c].tweak;
         const std::uint64_t epoch_refs = opts.obs_epoch_refs;
         spec.tweak = [&base_tweak, &trace_path, epoch_refs,
-                      attempt](HierarchyConfig& hc) {
+                      fault_attempt](HierarchyConfig& hc) {
           if (base_tweak) base_tweak(hc);
           if (!trace_path.empty()) {
             hc.obs.enabled = true;
             hc.obs.epoch_refs = epoch_refs;
             hc.obs.trace_path = trace_path;
           }
-          if (attempt > 0) hc.fault.seed += attempt * 0x9e3779b9ull;
+          if (fault_attempt > 0) hc.fault.seed += fault_attempt * 0x9e3779b9ull;
         };
         try {
           results[b][c] = run_spec(spec);
           results[b][c].queue_wait_seconds = queue_wait;
           break;
         } catch (const TransientFaultError&) {
-          if (attempt + 1 >= kMaxTransientAttempts) throw;
+          if (++fault_attempt >= kMaxTransientAttempts) throw;
+        } catch (const DeadlineExceededError& e) {
+          // One retry: a timeout is usually host contention, not the cell.
+          // The budget restarts with the attempt (measured from run_spec
+          // entry), and an interval checkpoint from the aborted attempt —
+          // same key — shortens the retry instead of restarting it.
+          if (!deadline_retried) {
+            deadline_retried = true;
+            continue;
+          }
+          if (cell_status == nullptr) throw;
+          (*cell_status)[b][c] = Status(StatusCode::kDeadlineExceeded,
+                                        to_string(opts.benches[b]) + "/" +
+                                            columns[c].label + ": " +
+                                            e.what());
+          break;
         }
       }
     });

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/cli.h"
+#include "common/status.h"
 #include "harness/run.h"
 
 namespace redhip {
@@ -38,9 +39,22 @@ struct ExperimentOptions {
   // Empty = no cache (the default — identical behaviour to run_matrix).
   std::string cache_dir;
   bool resume = true;
+  // Crash-safe checkpointing (src/ckpt).  `ckpt_dir` names a directory for
+  // per-cell checkpoint files; every matrix/sweep cell then checkpoints
+  // every `ckpt_interval` aggregate references (0 = only on graceful
+  // shutdown) and restores an existing valid checkpoint before running.
+  // Empty = checkpointing off (the default).
+  std::string ckpt_dir;
+  std::uint64_t ckpt_interval = 0;
+  // Per-cell wall-clock watchdog in seconds (0 = none): a cell that
+  // exceeds it aborts with DEADLINE_EXCEEDED at the next safe boundary,
+  // is retried once, and on a second timeout its cell reports
+  // Status(kDeadlineExceeded) instead of a result.
+  double cell_timeout = 0.0;
 
   // Parses --scale/--refs/--seed/--csv/--jobs/--bench/--engine/--threads
-  // plus --trace-events/--obs-epoch and --cache-dir/--resume (or the
+  // plus --trace-events/--obs-epoch, --cache-dir/--resume and
+  // --ckpt-dir/--ckpt-interval/--cell-timeout (or the
   // REDHIP_BENCH_* environment equivalents).  --bench limits the workload
   // list to one named benchmark; --engine selects fast (default), the
   // reference oracle loop, or the parallel bound-weave engine (--threads
@@ -54,6 +68,10 @@ struct ExperimentOptions {
 // per-cell trace file names.
 std::string trace_file_name(BenchmarkId bench, const std::string& column,
                             SimEngine engine);
+// Same stem with a .ckpt suffix: the per-cell checkpoint file under
+// ExperimentOptions::ckpt_dir.
+std::string ckpt_file_name(BenchmarkId bench, const std::string& column,
+                           SimEngine engine);
 
 // Bounded retry budget for matrix runs aborted by a transient injected
 // fault (TransientFaultError under RecoveryPolicy::kAbortRetry); each
@@ -99,9 +117,18 @@ struct MatrixStats {
 // single-threaded and deterministic, so the matrix is reproducible
 // regardless of pool size or submission order.  If `stats` is non-null it
 // receives the matrix wall time and aggregate simulation throughput.
+//
+// With opts.cell_timeout set, a cell whose run exceeds the budget aborts
+// with DeadlineExceededError at its next safe boundary and is retried once
+// (timeouts are usually host contention, not the cell).  A second timeout
+// records Status(kDeadlineExceeded) for the cell in `cell_status` (when
+// provided; the SimResult slot stays default-constructed) or, when the
+// caller passed no status sink, propagates as an exception — a silent
+// zeroed cell is never produced.
 std::vector<std::vector<SimResult>> run_matrix(
     const ExperimentOptions& opts, const std::vector<SchemeColumn>& columns,
-    MatrixStats* stats = nullptr);
+    MatrixStats* stats = nullptr,
+    std::vector<std::vector<Status>>* cell_status = nullptr);
 
 // Arithmetic mean (the paper's "average" bars).
 double mean(const std::vector<double>& v);

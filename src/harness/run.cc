@@ -1,8 +1,11 @@
 #include "harness/run.h"
 
 #include <chrono>
+#include <cstdio>
 
+#include "ckpt/checkpoint_io.h"
 #include "common/check.h"
+#include "sim/config_digest.h"
 
 namespace redhip {
 
@@ -28,25 +31,98 @@ SimResult run_spec(const RunSpec& spec) {
   const auto start = std::chrono::steady_clock::now();
   HierarchyConfig config = resolved_config(spec);
 
-  std::vector<std::unique_ptr<TraceSource>> traces;
-  std::vector<std::uint32_t> cpis;
-  for (CoreId c = 0; c < config.cores; ++c) {
-    traces.push_back(make_workload(spec.bench, c, spec.scale, spec.seed));
-    cpis.push_back(workload_cpi_centi(spec.bench, c));
+  const auto build_sim = [&]() {
+    std::vector<std::unique_ptr<TraceSource>> traces;
+    std::vector<std::uint32_t> cpis;
+    for (CoreId c = 0; c < config.cores; ++c) {
+      traces.push_back(make_workload(spec.bench, c, spec.scale, spec.seed));
+      cpis.push_back(workload_cpi_centi(spec.bench, c));
+    }
+    return std::make_unique<MulticoreSimulator>(config, std::move(traces),
+                                                std::move(cpis));
+  };
+  std::unique_ptr<MulticoreSimulator> sim = build_sim();
+
+  const bool ckpt_on = !spec.ckpt_path.empty() ||
+                       spec.stop_flag != nullptr || spec.deadline_seconds > 0;
+  CkptControl ctl;  // must outlive the run below
+  if (ckpt_on) {
+    const std::uint64_t key = ckpt_key(to_string(spec.bench), spec.scale,
+                                       spec.seed, config_digest(config));
+    ctl.interval_refs = spec.ckpt_interval_refs;
+    ctl.save_at_refs = spec.ckpt_save_at_refs;
+    ctl.stop_flag = spec.stop_flag;
+    if (spec.deadline_seconds > 0) {
+      ctl.has_deadline = true;
+      ctl.deadline = start + std::chrono::duration_cast<
+                                 std::chrono::steady_clock::duration>(
+                                 std::chrono::duration<double>(
+                                     spec.deadline_seconds));
+    }
+    if (!spec.ckpt_path.empty()) {
+      ctl.save = [path = spec.ckpt_path, key](MulticoreSimulator& s) {
+        const Status st = save_checkpoint(s, path, key);
+        // A failed save never corrupts the run; it only loses restart
+        // coverage, so it warns instead of aborting a healthy simulation.
+        if (!st.ok()) {
+          std::fprintf(stderr, "warning: %s\n", st.to_string().c_str());
+        }
+      };
+    }
+    if (!spec.ckpt_path.empty() && spec.ckpt_restore) {
+      if (!sim->ckpt_supported()) {
+        std::fprintf(stderr,
+                     "warning: checkpoint restore skipped: this "
+                     "configuration's tag-array state is not "
+                     "self-contained\n");
+      } else {
+        // Capture must be live before the restore replays the JSONL prefix.
+        sim->set_ckpt_control(&ctl);
+        const Status st = load_checkpoint(spec.ckpt_path, key, *sim);
+        if (st.code() == StatusCode::kDataLoss) {
+          // Torn, corrupt, or foreign: evict and cold-start — a wrong
+          // result is never an option, a lost warmup merely costs time.
+          std::fprintf(stderr, "warning: %s; evicting and cold-starting\n",
+                       st.to_string().c_str());
+          evict_checkpoint(spec.ckpt_path);
+          // Destroy the tainted simulator *before* building its
+          // replacement: its obs writer may hold the same trace file open
+          // (the restore replays the captured JSONL prefix into it), and a
+          // late flush would land inside the new run's freshly truncated
+          // file.
+          sim.reset();
+          sim = build_sim();
+        } else if (st.ok() &&
+                   sim->ckpt_refs_done() >
+                       spec.refs_per_core * config.cores) {
+          // Valid checkpoint, but past this run's end: a prefix of a longer
+          // run is useless here.  Keep the file (it is still valid for the
+          // run that wrote it) and cold-start.
+          std::fprintf(stderr,
+                       "warning: checkpoint %s is ahead of this run "
+                       "(ignoring it)\n",
+                       spec.ckpt_path.c_str());
+          sim.reset();  // same teardown-before-rebuild rule as above
+          sim = build_sim();
+        }
+        // kNotFound: plain cold start, nothing to say.
+      }
+    }
+    sim->set_ckpt_control(&ctl);
   }
-  MulticoreSimulator sim(config, std::move(traces), std::move(cpis));
+
   SimResult r;
   switch (spec.engine) {
     case SimEngine::kFast:
-      r = sim.run(spec.refs_per_core);
+      r = sim->run(spec.refs_per_core);
       break;
     case SimEngine::kReference:
-      r = sim.run_reference(spec.refs_per_core);
+      r = sim->run_reference(spec.refs_per_core);
       break;
     case SimEngine::kParallel: {
       ParallelOptions po;
       po.threads = spec.threads;
-      r = sim.run_parallel(spec.refs_per_core, po);
+      r = sim->run_parallel(spec.refs_per_core, po);
       break;
     }
   }

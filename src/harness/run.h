@@ -6,6 +6,7 @@
 // recalibration interval, memory latency, ...) before the run.
 #pragma once
 
+#include <atomic>
 #include <functional>
 
 #include "sim/simulator.h"
@@ -38,6 +39,34 @@ struct RunSpec {
   // wall time.
   std::uint32_t threads = 0;
   std::function<void(HierarchyConfig&)> tweak;
+
+  // --- Crash-safe checkpoint/restore (src/ckpt) ------------------------------
+  // None of these change simulated results: a restored run is bit-identical
+  // to an uninterrupted one (stats, json_report, JSONL trace) on every
+  // engine — tests/ckpt_restore_test and tests/ckpt_kill_test lock it in.
+  //
+  // Checkpoint file for this run ("" = checkpointing off).  Keyed by
+  // (bench, scale, seed, config digest) — see ckpt_key() — so a stale or
+  // foreign file at this path is rejected as DATA_LOSS and cold-started.
+  std::string ckpt_path;
+  // Periodic checkpoint every this many aggregate executed references
+  // (0 = never), written at safe boundaries only.
+  std::uint64_t ckpt_interval_refs = 0;
+  // One-shot checkpoint when the aggregate count first reaches this value
+  // (0 = never) — the sweep warmup-sharing hook.
+  std::uint64_t ckpt_save_at_refs = 0;
+  // Attempt to restore ckpt_path before running.  Missing file = cold
+  // start; torn/corrupt/mismatched file = evict with a DATA_LOSS diagnostic
+  // on stderr, then cold start.  Never a wrong result.
+  bool ckpt_restore = false;
+  // Graceful-shutdown flag (see install_shutdown_flag); when it is set the
+  // run checkpoints at the next safe boundary and throws
+  // GracefulShutdownRequest.  Not owned; may be null.
+  const std::atomic<bool>* stop_flag = nullptr;
+  // Wall-clock budget for this run, measured from run_spec entry (0 =
+  // none).  Exceeding it throws DeadlineExceededError from a safe boundary;
+  // run_matrix converts that to Status(kDeadlineExceeded) for the cell.
+  double deadline_seconds = 0.0;
 };
 
 // The fully-resolved machine `spec` would simulate: scaled geometry, then

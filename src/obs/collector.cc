@@ -92,7 +92,10 @@ void ObsCollector::emit_epoch(const EpochSample& s) {
 }
 
 void ObsCollector::emit_run_begin(const ObsRunInfo& info) {
-  if (!sink_) return;
+  // A resumed run's replayed trace prefix already contains the run_begin
+  // line; emitting a second one would break byte-identity with an
+  // uninterrupted run.
+  if (!sink_ || resumed_) return;
   EventWriter w("run_begin");
   w.field("cores", static_cast<std::uint64_t>(info.cores))
       .field("scheme", info.scheme)
@@ -162,6 +165,109 @@ void ObsCollector::on_rolling_pass(std::uint64_t bits_set) {
   EventWriter w("recal_pass");
   w.field("ref", total_refs_).field("pt_occupancy", bits_set);
   w.emit(*sink_);
+}
+
+namespace {
+
+void save_snapshot(ByteWriter& w, const ObsSnapshot& s) {
+  w.u64(s.l1_accesses);
+  w.u64(s.l1_misses);
+  w.u64(s.lookups);
+  w.u64(s.predicted_absent);
+  w.u64(s.predicted_present);
+  w.u64(s.true_positives);
+  w.u64(s.false_positives);
+  w.u64(s.recalibrations);
+  w.u64(s.invariant_violations);
+  w.u64(s.pt_occupancy);
+  w.boolean(s.predictor_active);
+}
+
+void load_snapshot(ByteReader& r, ObsSnapshot& s) {
+  s.l1_accesses = r.u64();
+  s.l1_misses = r.u64();
+  s.lookups = r.u64();
+  s.predicted_absent = r.u64();
+  s.predicted_present = r.u64();
+  s.true_positives = r.u64();
+  s.false_positives = r.u64();
+  s.recalibrations = r.u64();
+  s.invariant_violations = r.u64();
+  s.pt_occupancy = r.u64();
+  s.predictor_active = r.boolean();
+}
+
+}  // namespace
+
+void ObsCollector::ckpt_enable_capture() {
+  if (capture_ != nullptr) return;
+  auto capture = std::make_unique<CaptureEventSink>(std::move(sink_));
+  capture_ = capture.get();
+  sink_ = std::move(capture);
+}
+
+void ObsCollector::ckpt_save(ByteWriter& w) const {
+  w.u64(total_refs_);
+  w.u64(epoch_refs_);
+  w.u64(epoch_start_cycles_);
+  save_snapshot(w, prev_);
+  w.u64(epochs_.size());
+  for (const EpochSample& e : epochs_) {
+    w.u64(e.index);
+    w.u64(e.end_ref);
+    w.u64(e.end_cycles);
+    w.u64(e.refs);
+    w.u64(e.l1_accesses);
+    w.u64(e.l1_misses);
+    w.u64(e.lookups);
+    w.u64(e.predicted_absent);
+    w.u64(e.predicted_present);
+    w.u64(e.tp);
+    w.u64(e.fp);
+    w.u64(e.tn);
+    w.u64(e.fn);
+    w.u64(e.recalibrations);
+    w.u64(e.pt_occupancy);
+    w.boolean(e.predictor_active);
+  }
+  metrics_.ckpt_save(w);
+  w.str(capture_ != nullptr ? capture_->captured() : std::string());
+}
+
+bool ObsCollector::ckpt_load(ByteReader& r) {
+  total_refs_ = r.u64();
+  epoch_refs_ = r.u64();
+  epoch_start_cycles_ = r.u64();
+  load_snapshot(r, prev_);
+  const std::uint64_t n = r.u64();
+  if (!r.ok() || n > kMaxVectorLen) return false;
+  epochs_.resize(n);
+  for (EpochSample& e : epochs_) {
+    e.index = r.u64();
+    e.end_ref = r.u64();
+    e.end_cycles = r.u64();
+    e.refs = r.u64();
+    e.l1_accesses = r.u64();
+    e.l1_misses = r.u64();
+    e.lookups = r.u64();
+    e.predicted_absent = r.u64();
+    e.predicted_present = r.u64();
+    e.tp = r.u64();
+    e.fp = r.u64();
+    e.tn = r.u64();
+    e.fn = r.u64();
+    e.recalibrations = r.u64();
+    e.pt_occupancy = r.u64();
+    e.predictor_active = r.boolean();
+  }
+  if (!metrics_.ckpt_load(r)) return false;
+  std::string prefix = r.str();
+  if (!r.ok()) return false;
+  if (capture_ != nullptr) {
+    capture_->replay(std::move(prefix));
+  }
+  resumed_ = true;
+  return true;
 }
 
 }  // namespace redhip

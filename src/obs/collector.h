@@ -18,6 +18,7 @@
 #include <memory>
 #include <string>
 
+#include "common/bytestream.h"
 #include "obs/epoch.h"
 #include "obs/events.h"
 #include "obs/metrics.h"
@@ -123,6 +124,20 @@ class ObsCollector final : public RecalObserver {
   const ObsTiming& timing() const { return timing_; }
   std::uint64_t refs_seen() const { return total_refs_; }
 
+  // --- Checkpoint ------------------------------------------------------------
+  // Wrap the sink so every emitted line is also kept in memory.  Must run
+  // before any event is emitted (the simulator calls it when checkpoint
+  // control is attached, which precedes run()); the captured prefix goes
+  // into each checkpoint so a restored run's trace is byte-identical.
+  void ckpt_enable_capture();
+  // Serialize / restore the epoch accumulator, metrics, emitted-trace
+  // prefix, and epoch series.  Host-side timing is deliberately excluded
+  // (wall time is a property of the host, not of the run).  After a
+  // successful ckpt_load the run_begin event is suppressed — the replayed
+  // prefix already contains it.
+  void ckpt_save(ByteWriter& w) const;
+  bool ckpt_load(ByteReader& r);
+
  private:
   void emit_epoch(const EpochSample& s);
 
@@ -130,6 +145,8 @@ class ObsCollector final : public RecalObserver {
   bool faults_enabled_;
   MetricsRegistry metrics_;
   std::unique_ptr<EventSink> sink_;  // null: epochs only, no trace
+  CaptureEventSink* capture_ = nullptr;  // sink_ downcast when capturing
+  bool resumed_ = false;  // restored from a checkpoint: skip run_begin
 
   // Epoch accumulator.
   std::uint64_t total_refs_ = 0;

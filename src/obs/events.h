@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -34,6 +35,37 @@ class FileEventSink final : public EventSink {
 
  private:
   std::ofstream out_;
+};
+
+// Decorator that keeps a byte-exact copy of every line while forwarding to
+// an optional inner sink.  The checkpoint subsystem wraps the collector's
+// sink with one of these: the captured prefix is serialized into each
+// checkpoint, and on restore it is replayed into the fresh (truncated)
+// trace file so the resumed run's JSONL output is byte-identical to an
+// uninterrupted run's.
+class CaptureEventSink final : public EventSink {
+ public:
+  explicit CaptureEventSink(std::unique_ptr<EventSink> inner)
+      : inner_(std::move(inner)) {}
+  void write_line(const std::string& line) override {
+    buffer_ += line;
+    if (inner_) inner_->write_line(line);
+  }
+  void flush() override {
+    if (inner_) inner_->flush();
+  }
+  const std::string& captured() const { return buffer_; }
+  // Restore path: adopt `prefix` as the already-emitted bytes and write
+  // them straight to the inner sink (they are not re-captured — they
+  // already are the capture).
+  void replay(std::string prefix) {
+    buffer_ = std::move(prefix);
+    if (inner_ && !buffer_.empty()) inner_->write_line(buffer_);
+  }
+
+ private:
+  std::unique_ptr<EventSink> inner_;
+  std::string buffer_;
 };
 
 // Collects lines in memory (tests, stream-equivalence oracles).

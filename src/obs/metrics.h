@@ -20,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include "common/bytestream.h"
+
 namespace redhip {
 
 enum class ObsCounter : std::uint32_t {
@@ -56,6 +58,25 @@ class MetricsRegistry {
   std::vector<std::uint64_t> latency_histogram() const;
   std::uint32_t cores() const {
     return static_cast<std::uint32_t>(slots_.size());
+  }
+
+  // --- Checkpoint ----------------------------------------------------------
+  // The per-core counters and histograms feed the run_end trace event, so
+  // they are part of the bit-identity contract and must survive a restore.
+  void ckpt_save(ByteWriter& w) const {
+    w.u64(slots_.size());
+    for (const CoreSlot& s : slots_) {
+      for (std::uint64_t c : s.counters) w.u64(c);
+      for (std::uint64_t l : s.latency) w.u64(l);
+    }
+  }
+  bool ckpt_load(ByteReader& r) {
+    if (r.u64() != slots_.size()) return false;
+    for (CoreSlot& s : slots_) {
+      for (std::uint64_t& c : s.counters) c = r.u64();
+      for (std::uint64_t& l : s.latency) l = r.u64();
+    }
+    return r.ok();
   }
 
  private:

@@ -42,6 +42,23 @@ class CountingBloomFilter final : public LlcPredictor {
   Cycles lookup_delay() const override { return config_.energy.total_delay(); }
   std::string name() const override { return "CBF"; }
 
+  // --- Checkpoint ----------------------------------------------------------
+  void ckpt_save(ByteWriter& w) const override {
+    LlcPredictor::ckpt_save(w);
+    w.u64(counters_.size());
+    w.bytes(counters_.data(), counters_.size());
+    w.u64_vec(disabled_);
+  }
+  bool ckpt_load(ByteReader& r) override {
+    if (!LlcPredictor::ckpt_load(r)) return false;
+    if (r.u64() != counters_.size()) return false;
+    if (!r.raw(counters_.data(), counters_.size())) return false;
+    std::vector<std::uint64_t> disabled = r.u64_vec();
+    if (!r.ok() || disabled.size() != disabled_.size()) return false;
+    disabled_ = std::move(disabled);
+    return true;
+  }
+
   // --- Introspection -------------------------------------------------------
   const CbfConfig& config() const { return config_; }
   std::uint64_t index_of(LineAddr line) const;

@@ -42,6 +42,27 @@ class PartialTagPredictor final : public LlcPredictor {
   Cycles lookup_delay() const override { return config_.energy.total_delay(); }
   std::string name() const override { return "PartialTag"; }
 
+  // --- Checkpoint ----------------------------------------------------------
+  void ckpt_save(ByteWriter& w) const override {
+    LlcPredictor::ckpt_save(w);
+    w.u64(slots_.size());
+    for (const Slot& s : slots_) {
+      w.u16(s.partial);
+      w.u8(s.valid ? 1 : 0);
+    }
+    w.u64(occupied_);
+  }
+  bool ckpt_load(ByteReader& r) override {
+    if (!LlcPredictor::ckpt_load(r)) return false;
+    if (r.u64() != slots_.size()) return false;
+    for (Slot& s : slots_) {
+      s.partial = r.u16();
+      s.valid = r.u8() != 0;
+    }
+    occupied_ = r.u64();
+    return r.ok();
+  }
+
   // --- Introspection -------------------------------------------------------
   const PartialTagConfig& config() const { return config_; }
   std::uint64_t storage_bits() const {

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "cache/tag_array.h"
+#include "common/bytestream.h"
 #include "common/types.h"
 #include "energy/ledger.h"
 #include "energy/params.h"
@@ -51,6 +52,35 @@ class LlcPredictor {
   // per-scheme bookkeeping (e.g. false-positive classification) in.
   PredictorEvents& events() { return events_; }
   const PredictorEvents& events() const { return events_; }
+
+  // Checkpoint/restore (common/bytestream.h codec).  The base serializes
+  // the event counters; stateful implementations call the base then append
+  // their structures, and must read back exactly what they wrote.
+  // ckpt_load returns false on any structural mismatch (the payload was
+  // written by a differently-configured predictor).
+  virtual void ckpt_save(ByteWriter& w) const {
+    w.u64(events_.lookups);
+    w.u64(events_.updates);
+    w.u64(events_.recalibrations);
+    w.u64(events_.recal_sets_read);
+    w.u64(events_.recal_words_written);
+    w.u64(events_.predicted_absent);
+    w.u64(events_.predicted_present);
+    w.u64(events_.false_positives);
+    w.u64(events_.true_positives);
+  }
+  virtual bool ckpt_load(ByteReader& r) {
+    events_.lookups = r.u64();
+    events_.updates = r.u64();
+    events_.recalibrations = r.u64();
+    events_.recal_sets_read = r.u64();
+    events_.recal_words_written = r.u64();
+    events_.predicted_absent = r.u64();
+    events_.predicted_present = r.u64();
+    events_.false_positives = r.u64();
+    events_.true_positives = r.u64();
+    return r.ok();
+  }
 
  protected:
   PredictorEvents events_;

@@ -116,6 +116,27 @@ class RedhipTable final : public LlcPredictor {
   // flood any trace).  Not owned.
   void set_recal_observer(RecalObserver* observer) { observer_ = observer; }
 
+  // --- Checkpoint ----------------------------------------------------------
+  void ckpt_save(ByteWriter& w) const override {
+    LlcPredictor::ckpt_save(w);
+    w.u64_vec(words_);
+    w.u64(l1_misses_);
+    w.u64(misses_since_recal_);
+    w.u64(rolling_cursor_);
+    w.u64(rolling_credit_);
+  }
+  bool ckpt_load(ByteReader& r) override {
+    if (!LlcPredictor::ckpt_load(r)) return false;
+    std::vector<std::uint64_t> words = r.u64_vec();
+    if (!r.ok() || words.size() != words_.size()) return false;
+    words_ = std::move(words);
+    l1_misses_ = r.u64();
+    misses_since_recal_ = r.u64();
+    rolling_cursor_ = r.u64();
+    rolling_credit_ = r.u64();
+    return r.ok();
+  }
+
   // --- Introspection -------------------------------------------------------
   const RedhipConfig& config() const { return config_; }
   std::uint64_t index_of(LineAddr line) const { return line & index_mask_; }

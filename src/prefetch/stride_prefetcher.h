@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/bitops.h"
+#include "common/bytestream.h"
 #include "common/check.h"
 #include "common/types.h"
 #include "energy/ledger.h"
@@ -53,6 +54,42 @@ class StridePrefetcher {
   enum class State : std::uint8_t { kInitial, kTransient, kSteady };
   State state_of(std::uint32_t pc) const;
   std::int64_t stride_of(std::uint32_t pc) const;
+
+  // Checkpoint/restore: the reference prediction table plus the event
+  // counters are the prefetcher's complete state.
+  void ckpt_save(ByteWriter& w) const {
+    w.u64(table_.size());
+    for (const Entry& e : table_) {
+      w.u32(e.tag);
+      w.u8(e.valid ? 1 : 0);
+      w.u8(static_cast<std::uint8_t>(e.state));
+      w.u64(e.last_addr);
+      w.i64(e.stride);
+    }
+    w.u64(events_.table_lookups);
+    w.u64(events_.issued);
+    w.u64(events_.useful);
+    w.u64(events_.useless);
+    w.u64(events_.redundant);
+  }
+  bool ckpt_load(ByteReader& r) {
+    if (r.u64() != table_.size()) return false;
+    for (Entry& e : table_) {
+      e.tag = r.u32();
+      e.valid = r.u8() != 0;
+      const std::uint8_t s = r.u8();
+      if (s > static_cast<std::uint8_t>(State::kSteady)) return false;
+      e.state = static_cast<State>(s);
+      e.last_addr = r.u64();
+      e.stride = r.i64();
+    }
+    events_.table_lookups = r.u64();
+    events_.issued = r.u64();
+    events_.useful = r.u64();
+    events_.useless = r.u64();
+    events_.redundant = r.u64();
+    return r.ok();
+  }
 
  private:
   struct Entry {

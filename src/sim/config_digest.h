@@ -1,0 +1,19 @@
+// Digest of a fully-resolved machine description.
+//
+// Two configs digest equal iff every simulated-behaviour-relevant field is
+// equal; host-side fields that cannot change a simulated statistic (the obs
+// trace path, host timing switches) are the only deliberate exclusions —
+// see DESIGN.md "Sweep & result cache".  Lives at the sim layer so both the
+// sweep result cache (above the harness) and the checkpoint subsystem
+// (below it) can key their on-disk artifacts by the same digest.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/config.h"
+
+namespace redhip {
+
+std::uint64_t config_digest(const HierarchyConfig& config);
+
+}  // namespace redhip

@@ -413,6 +413,43 @@ void MulticoreSimulator::par_weave(std::uint64_t max_refs_per_core,
   }
 }
 
+void MulticoreSimulator::par_rewind_lane(ParLane& lane, std::size_t j) {
+  const bool had_event = lane.status == ParLane::Status::kAtEvent;
+  if (j == lane.log.size() && !had_event) return;  // nothing speculative
+  CoreState& cs = cores_[lane.core];
+  TagArray& l1 = private_[lane.core];
+  // Undo tag-array mutations newest-first; each entry restores the one set
+  // it touched, so overlapping touches unwind correctly.
+  for (std::size_t i = lane.log.size(); i-- > j;) {
+    const ParLane::Entry& e = lane.log[i];
+    if (e.touched_set) l1.restore_set(e.set, e.saved);
+  }
+  if (j < lane.log.size()) {
+    // Rewind the core's micro-state to just before the first discarded
+    // reference.  (A parked event never advanced clock or CPI — the weave
+    // does that when it executes — so an event-only rewind skips this.)
+    const ParLane::Entry& ej = lane.log[j];
+    cs.clock = ej.key;
+    cs.cpi.set_remainder_centi(ej.pre_rem_centi);
+    cs.l1_last_line = ej.pre_memo_line;
+    cs.l1_last_dirty = ej.pre_memo_dirty;
+    cs.refs_done -= lane.log.size() - j;
+    cs.exhausted = false;
+  }
+  // The discarded references (and a parked event's reference, which was
+  // fetched after them) re-execute in order, ahead of any references a
+  // previous rollback already queued.
+  std::vector<MemRef> requeue;
+  requeue.reserve(lane.log.size() - j + 1);
+  for (std::size_t i = j; i < lane.log.size(); ++i) {
+    requeue.push_back(lane.log[i].ref);
+  }
+  if (had_event) requeue.push_back(lane.ev_ref);
+  lane.replay.insert(lane.replay.begin(), requeue.begin(), requeue.end());
+  lane.log.resize(j);
+  lane.status = ParLane::Status::kRunning;
+}
+
 void MulticoreSimulator::par_note_back_invalidate(CoreId core,
                                                   LineAddr victim) {
   ParLane& lane = (*par_lanes_)[core];
@@ -432,36 +469,7 @@ void MulticoreSimulator::par_note_back_invalidate(CoreId core,
   if (j == lane.log.size()) return;  // no conflict; speculation stands
 
   ++par_rollbacks_;
-  CoreState& cs = cores_[core];
-  TagArray& l1 = private_[core];
-  // Undo tag-array mutations newest-first; each entry restores the one set
-  // it touched, so overlapping touches unwind correctly.
-  for (std::size_t i = lane.log.size(); i-- > j;) {
-    const ParLane::Entry& e = lane.log[i];
-    if (e.touched_set) l1.restore_set(e.set, e.saved);
-  }
-  // Rewind the core's micro-state to just before the first bad reference.
-  const ParLane::Entry& ej = lane.log[j];
-  cs.clock = ej.key;
-  cs.cpi.set_remainder_centi(ej.pre_rem_centi);
-  cs.l1_last_line = ej.pre_memo_line;
-  cs.l1_last_dirty = ej.pre_memo_dirty;
-  cs.refs_done -= lane.log.size() - j;
-  cs.exhausted = false;
-  // The discarded references (and a parked event's reference, which was
-  // fetched after them) re-execute in order, ahead of any references a
-  // previous rollback already queued.
-  std::vector<MemRef> requeue;
-  requeue.reserve(lane.log.size() - j + 1);
-  for (std::size_t i = j; i < lane.log.size(); ++i) {
-    requeue.push_back(lane.log[i].ref);
-  }
-  if (lane.status == ParLane::Status::kAtEvent) {
-    requeue.push_back(lane.ev_ref);
-  }
-  lane.replay.insert(lane.replay.begin(), requeue.begin(), requeue.end());
-  lane.log.resize(j);
-  lane.status = ParLane::Status::kRunning;
+  par_rewind_lane(lane, j);
 }
 
 // ------------------------------------------------------------- drivers
@@ -492,6 +500,17 @@ void MulticoreSimulator::par_run_speculative(std::uint64_t max_refs_per_core,
   std::vector<std::size_t> runnable;
   runnable.reserve(lanes.size());
   while (true) {
+    // Checkpoint boundary: the pool is idle here (run_phase is a barrier),
+    // so when an action is due the speculation quiesces — every lane's
+    // uncommitted entries are rolled back to its committed frontier, which
+    // leaves the simulator in exactly the serial engines' state at that
+    // global cut.  The discarded references re-execute from the replay
+    // queues afterwards, so a checkpoint that does *not* terminate the run
+    // costs only the rolled-back window.
+    if (ckpt_ctl_ != nullptr && ckpt_should_act()) {
+      for (ParLane& ln : lanes) par_rewind_lane(ln, ln.committed);
+      ckpt_poll_slow();
+    }
     bool all_done = true;
     runnable.clear();
     for (std::size_t i = 0; i < lanes.size(); ++i) {
@@ -536,6 +555,12 @@ void MulticoreSimulator::par_run_weave_only(std::uint64_t max_refs_per_core,
     bool gen_done = false;
   };
   std::vector<GenLane> gen(config_.cores);
+  // A checkpoint-restored run resumes with its trace sources already
+  // positioned past refs_done consumed references; the generators' quota
+  // arithmetic must start from the same point.
+  for (CoreId c = 0; c < config_.cores; ++c) {
+    gen[c].gen_refs = cores_[c].refs_done;
+  }
 
   std::size_t nthreads =
       opts.threads > 0 ? opts.threads : std::thread::hardware_concurrency();
@@ -550,11 +575,15 @@ void MulticoreSimulator::par_run_weave_only(std::uint64_t max_refs_per_core,
 
   heap_.clear();
   heap_.reserve(config_.cores);
-  if (max_refs_per_core > 0) {
-    for (CoreId c = 0; c < config_.cores; ++c) {
-      heap_.push_back(HeapSlot{cores_[c].clock, c});
+  for (CoreId c = 0; c < config_.cores; ++c) {
+    CoreState& cs = cores_[c];
+    if (max_refs_per_core == 0 || cs.refs_done >= max_refs_per_core) {
+      cs.exhausted = true;
     }
+    if (!cs.exhausted) heap_.push_back(HeapSlot{cs.clock, c});
   }
+  // Restored runs resume with unequal clocks (see run_loop).
+  for (std::size_t i = heap_.size() / 2; i-- > 0;) heap_sift_down(i);
 
   while (!heap_.empty()) {
     // Kick generators for every core running low.  Workers touch only their
@@ -645,6 +674,11 @@ void MulticoreSimulator::par_run_weave_only(std::uint64_t max_refs_per_core,
       for (std::vector<MemRef>& b : g.fresh) g.ready.push_back(std::move(b));
       g.fresh.clear();
     }
+    // Checkpoint boundary: the generators are idle and the weave is between
+    // references.  Pre-generated batches (like partially-consumed buffers)
+    // are regenerable from the per-core trace positions, so they stay out
+    // of the serialized state.
+    ckpt_poll();
   }
 }
 

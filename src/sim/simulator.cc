@@ -807,17 +807,27 @@ template <bool kFault, bool kPrefetch, bool kAutoDisable>
 void MulticoreSimulator::run_loop(std::uint64_t max_refs_per_core) {
   heap_.clear();
   heap_.reserve(cores_.size());
-  if (max_refs_per_core > 0) {
-    // Cores start at clock 0 in id order, which is already a valid heap.
-    for (CoreId c = 0; c < config_.cores; ++c) {
-      heap_.push_back(HeapSlot{cores_[c].clock, c});
+  for (CoreId c = 0; c < config_.cores; ++c) {
+    CoreState& cs = cores_[c];
+    if (max_refs_per_core == 0 || cs.refs_done >= max_refs_per_core) {
+      cs.exhausted = true;
     }
+    if (!cs.exhausted) heap_.push_back(HeapSlot{cs.clock, c});
   }
+  // A cold start pushes every core at clock 0 in id order (already a valid
+  // heap); a checkpoint-restored run resumes with unequal clocks, so the
+  // invariant is established explicitly.
+  for (std::size_t i = heap_.size() / 2; i-- > 0;) heap_sift_down(i);
 
   while (!heap_.empty()) {
     const CoreId best = heap_.front().core;
     CoreState& cs = cores_[best];
     if (cs.buf_pos == cs.buf_len) {
+      // An empty refill buffer is a safe checkpoint boundary: the scheduler
+      // is between references, and the other cores' partially-consumed
+      // buffers hold raw (unperturbed) trace content that a restore
+      // regenerates from the trace position — they are not serialized.
+      ckpt_poll();
       // Refill, capped at what this core still needs so the source never
       // generates references the run will not consume.
       const std::size_t want = static_cast<std::size_t>(
@@ -907,7 +917,10 @@ SimResult MulticoreSimulator::run_reference(std::uint64_t max_refs_per_core) {
 
   std::uint64_t active = 0;
   for (auto& cs : cores_) {
-    cs.exhausted = max_refs_per_core == 0;
+    // `refs_done >= max` covers a checkpoint-restored core that already met
+    // its quota before the interruption.
+    cs.exhausted = cs.exhausted || max_refs_per_core == 0 ||
+                   cs.refs_done >= max_refs_per_core;
     if (!cs.exhausted) ++active;
   }
 
@@ -917,6 +930,13 @@ SimResult MulticoreSimulator::run_reference(std::uint64_t max_refs_per_core) {
     // the timings into the result.
     ScopedTimer timer(obs_ != nullptr ? obs_->run_timer() : nullptr);
     while (active > 0) {
+      // This engine has no refill boundary, so it polls for checkpoint
+      // actions on a fixed reference stride (any between-references point
+      // is a safe boundary here).
+      if (--ckpt_countdown_ == 0) {
+        ckpt_countdown_ = kCkptPollStride;
+        ckpt_poll();
+      }
       // Deterministic min-clock interleave, ties broken by core id.
       CoreId best = 0;
       Cycles best_clock = ~Cycles{0};
@@ -958,6 +978,56 @@ SimResult MulticoreSimulator::run_reference(std::uint64_t max_refs_per_core) {
     }
   }
   return finalize_result();
+}
+
+// --------------------------------------------------------- checkpoint polling
+
+bool MulticoreSimulator::ckpt_should_act() const {
+  const CkptControl& ctl = *ckpt_ctl_;
+  if (ctl.stop_flag != nullptr &&
+      ctl.stop_flag->load(std::memory_order_relaxed)) {
+    return true;
+  }
+  if (ctl.has_deadline && std::chrono::steady_clock::now() >= ctl.deadline) {
+    return true;
+  }
+  const std::uint64_t total = ckpt_refs_done();
+  if (ctl.save_at_refs > 0 && !ckpt_save_at_done_ &&
+      total >= ctl.save_at_refs) {
+    return true;
+  }
+  return ctl.interval_refs > 0 &&
+         total - ckpt_last_save_refs_ >= ctl.interval_refs;
+}
+
+void MulticoreSimulator::ckpt_poll_slow() {
+  CkptControl& ctl = *ckpt_ctl_;
+  // Shutdown first: a stop request wants state on disk even when it lands
+  // at the same boundary as an interval tick.
+  if (ctl.stop_flag != nullptr &&
+      ctl.stop_flag->load(std::memory_order_relaxed)) {
+    if (ctl.save) ctl.save(*this);
+    throw GracefulShutdownRequest(
+        "stop requested; checkpoint written at a safe boundary");
+  }
+  if (ctl.has_deadline && std::chrono::steady_clock::now() >= ctl.deadline) {
+    throw DeadlineExceededError("cell wall-clock budget exhausted");
+  }
+  const std::uint64_t total = ckpt_refs_done();
+  if (ctl.save_at_refs > 0 && !ckpt_save_at_done_ &&
+      total >= ctl.save_at_refs) {
+    // One-shot warmup checkpoint (sweep warmup sharing).  It also re-anchors
+    // the periodic interval — the state just hit disk.
+    ckpt_save_at_done_ = true;
+    ckpt_last_save_refs_ = total;
+    if (ctl.save) ctl.save(*this);
+    return;
+  }
+  if (ctl.interval_refs > 0 &&
+      total - ckpt_last_save_refs_ >= ctl.interval_refs) {
+    ckpt_last_save_refs_ = total;
+    if (ctl.save) ctl.save(*this);
+  }
 }
 
 void MulticoreSimulator::obs_begin_run(std::uint64_t max_refs_per_core) {

@@ -17,11 +17,13 @@
 #include <vector>
 
 #include "cache/tag_array.h"
+#include "common/bytestream.h"
 #include "common/fixed_point.h"
 #include "fault/fault.h"
 #include "obs/collector.h"
 #include "predict/predictor.h"
 #include "prefetch/stride_prefetcher.h"
+#include "sim/ckpt_control.h"
 #include "sim/config.h"
 #include "sim/stats.h"
 #include "trace/mem_ref.h"
@@ -101,6 +103,33 @@ class MulticoreSimulator {
   // speculation windows were rolled back by back-invalidation conflicts.
   bool parallel_speculated_for_test() const { return par_speculated_; }
   std::uint64_t parallel_rollbacks_for_test() const { return par_rollbacks_; }
+
+  // --- Checkpoint/restore (src/ckpt) ----------------------------------------
+  // Attach the poll contract (see sim/ckpt_control.h).  Must precede run;
+  // `ctl` is not owned and must outlive the run.  Attaching also turns on
+  // JSONL capture so checkpoints can carry the emitted-trace prefix.
+  void set_ckpt_control(CkptControl* ctl) {
+    ckpt_ctl_ = ctl;
+    if (ctl != nullptr && obs_ != nullptr) obs_->ckpt_enable_capture();
+  }
+  // Whether a checkpoint of this simulator can be complete: every tag array
+  // must keep its full state in the packed entries (the same
+  // state_is_self_contained() gate the parallel engine's speculation uses).
+  bool ckpt_supported() const;
+  // Payload codec, defined in src/ckpt/sim_state.cc — the subsystem that
+  // owns the on-disk format; member functions so they keep private access.
+  // serialize captures everything a run needs to continue from a safe
+  // boundary; restore applies a payload to a freshly-constructed simulator
+  // (before run) and returns false when the payload does not structurally
+  // match this configuration.
+  void ckpt_serialize(ByteWriter& w) const;
+  bool ckpt_restore_payload(ByteReader& r);
+  // Aggregate executed references (the checkpoint schedule's clock).
+  std::uint64_t ckpt_refs_done() const {
+    std::uint64_t total = 0;
+    for (const CoreState& cs : cores_) total += cs.refs_done;
+    return total;
+  }
 
  private:
   // How many references a core pulls from its TraceSource per refill.  256
@@ -237,6 +266,16 @@ class MulticoreSimulator {
   void heap_sift_down(std::size_t i);
   void heap_pop_top();
 
+  // --- Checkpoint polling ----------------------------------------------------
+  // Called at safe boundaries only (between references on the serial
+  // engines; after a full speculation quiesce on the parallel engine).
+  // When checkpointing is off the cost is one pointer test.
+  bool ckpt_should_act() const;  // side-effect-free; parallel quiesce gate
+  void ckpt_poll_slow();         // save and/or throw, see ckpt_control.h
+  void ckpt_poll() {
+    if (ckpt_ctl_ != nullptr && ckpt_should_act()) ckpt_poll_slow();
+  }
+
   HierarchyConfig config_;
   std::vector<CoreState> cores_;
   // Private tag arrays, flat in lvl-major order: index `lvl * cores + core`
@@ -308,6 +347,15 @@ class MulticoreSimulator {
   std::vector<HeapSlot> heap_;
   bool ran_ = false;
 
+  // Checkpoint control (not owned; null = checkpointing off).
+  CkptControl* ckpt_ctl_ = nullptr;
+  std::uint64_t ckpt_last_save_refs_ = 0;  // interval anchor (aggregate refs)
+  bool ckpt_save_at_done_ = false;         // one-shot save_at_refs fired
+  // Reference-engine poll stride: that engine has no refill boundary, so it
+  // polls every kCkptPollStride references via this countdown.
+  static constexpr std::uint64_t kCkptPollStride = 1024;
+  std::uint64_t ckpt_countdown_ = kCkptPollStride;
+
   // --- Parallel engine state (src/sim/parallel.cc) ---------------------------
   struct ParLane;  // per-core speculation lane, defined in parallel.cc
   // How the weave folds committed speculative L1 hits into the statistics.
@@ -337,6 +385,11 @@ class MulticoreSimulator {
   // weave is applying an event, before it touches `core`'s L1.  Rolls the
   // lane back when an uncommitted speculated reference touched `victim`.
   void par_note_back_invalidate(CoreId core, LineAddr victim);
+  // Discard a lane's speculation from log index `j` on: restore the touched
+  // L1 sets and the core's micro-state, requeue the discarded references
+  // (and any parked event) for replay.  Used by conflict rollback (j = the
+  // first conflicting entry) and by the checkpoint quiesce (j = committed).
+  void par_rewind_lane(ParLane& lane, std::size_t j);
   std::vector<ParLane>* par_lanes_ = nullptr;  // non-null during the weave
   bool par_speculated_ = false;
   std::uint64_t par_rollbacks_ = 0;

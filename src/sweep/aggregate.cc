@@ -1,9 +1,9 @@
 #include "sweep/aggregate.h"
 
-#include <fstream>
 #include <sstream>
 
 #include "common/check.h"
+#include "common/file_io.h"
 
 namespace redhip {
 
@@ -157,12 +157,9 @@ std::string sweep_report_csv(const SweepOutcome& outcome) {
 }
 
 Status write_text_file(const std::string& path, const std::string& content) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out ||
-      !out.write(content.data(), static_cast<std::streamsize>(content.size()))) {
-    return Status(StatusCode::kInternal, "cannot write " + path);
-  }
-  return Status::Ok();
+  // Atomic temp+rename: a reader (or a crash) never observes a half-written
+  // report — the old file survives intact until the new one is complete.
+  return write_file_atomic(path, content);
 }
 
 }  // namespace redhip

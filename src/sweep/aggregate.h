@@ -59,6 +59,8 @@ std::string sweep_report_json(const SweepOutcome& outcome);
 // One row per cell: axis columns, then key/provenance/metrics.
 std::string sweep_report_csv(const SweepOutcome& outcome);
 
+// Atomic (temp + rename): a crash mid-write never leaves a truncated
+// report, and the previous file stays intact until the new one is complete.
 Status write_text_file(const std::string& path, const std::string& content);
 
 }  // namespace redhip

@@ -2,17 +2,16 @@
 //
 // The sweep result cache must never serve a stale result, so the key is a
 // digest of *everything the simulated statistics depend on*: the fully
-// resolved HierarchyConfig (after scaling and every tweak hook), the
-// workload identity (benchmark, scale, seed, refs per core), the engine,
-// and a schema version bumped whenever the digest coverage or the cached
-// payload layout changes.  Host-side fields that cannot change the
-// simulated outcome (the obs trace path, host timing switches) are the only
-// deliberate exclusions — see DESIGN.md "Sweep & result cache".
+// resolved HierarchyConfig (after scaling and every tweak hook — see
+// sim/config_digest.h), the workload identity (benchmark, scale, seed, refs
+// per core), the engine, and a schema version bumped whenever the digest
+// coverage or the cached payload layout changes.
 #pragma once
 
 #include <cstdint>
 
 #include "harness/run.h"
+#include "sim/config_digest.h"
 
 namespace redhip {
 
@@ -20,10 +19,6 @@ namespace redhip {
 // composition, or to the cache entry payload layout (result_cache.cc) —
 // old entries then miss instead of deserializing garbage.
 inline constexpr std::uint32_t kSweepCacheSchemaVersion = 1;
-
-// Digest of a fully-resolved machine description.  Two configs digest
-// equal iff every simulated-behaviour-relevant field is equal.
-std::uint64_t config_digest(const HierarchyConfig& config);
 
 // Cache key for one RunSpec: schema version + engine + workload identity +
 // config_digest(resolved_config(spec)).

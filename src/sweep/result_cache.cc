@@ -1,92 +1,19 @@
 #include "sweep/result_cache.h"
 
-#include <atomic>
-#include <cstring>
-#include <fstream>
+#include <chrono>
+#include <cstdio>
 
-#include "common/fnv.h"
+#include "common/bytestream.h"
+#include "common/file_io.h"
 #include "sweep/config_digest.h"
 
 namespace redhip {
 namespace {
 
-constexpr char kMagic[8] = {'R', 'D', 'H', 'P', 'S', 'W', 'P', 'C'};
-
-// Little-endian byte codec — explicit, like the Fnv1a feed, so cache files
-// written on one host validate on any other.
-class ByteWriter {
- public:
-  void u8(std::uint8_t v) { buf_ += static_cast<char>(v); }
-  void u32(std::uint32_t v) {
-    for (int i = 0; i < 4; ++i) {
-      buf_ += static_cast<char>(v & 0xff);
-      v >>= 8;
-    }
-  }
-  void u64(std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) {
-      buf_ += static_cast<char>(v & 0xff);
-      v >>= 8;
-    }
-  }
-  void f64(double v) {
-    std::uint64_t bits = 0;
-    std::memcpy(&bits, &v, sizeof(bits));
-    u64(bits);
-  }
-  std::string take() { return std::move(buf_); }
-
- private:
-  std::string buf_;
-};
-
-class ByteReader {
- public:
-  explicit ByteReader(const std::string& buf) : buf_(buf) {}
-
-  bool u8(std::uint8_t& out) {
-    if (pos_ + 1 > buf_.size()) return fail();
-    out = static_cast<std::uint8_t>(buf_[pos_++]);
-    return true;
-  }
-  bool u32(std::uint32_t& out) {
-    if (pos_ + 4 > buf_.size()) return fail();
-    out = 0;
-    for (int i = 0; i < 4; ++i) {
-      out |= static_cast<std::uint32_t>(
-                 static_cast<unsigned char>(buf_[pos_++]))
-             << (8 * i);
-    }
-    return true;
-  }
-  bool u64(std::uint64_t& out) {
-    if (pos_ + 8 > buf_.size()) return fail();
-    out = 0;
-    for (int i = 0; i < 8; ++i) {
-      out |= static_cast<std::uint64_t>(
-                 static_cast<unsigned char>(buf_[pos_++]))
-             << (8 * i);
-    }
-    return true;
-  }
-  bool f64(double& out) {
-    std::uint64_t bits = 0;
-    if (!u64(bits)) return false;
-    std::memcpy(&out, &bits, sizeof(out));
-    return true;
-  }
-  bool ok() const { return ok_; }
-  bool exhausted() const { return pos_ == buf_.size(); }
-
- private:
-  bool fail() {
-    ok_ = false;
-    return false;
-  }
-  const std::string& buf_;
-  std::size_t pos_ = 0;
-  bool ok_ = true;
-};
+// Entry layout is the shared FileEnvelope (common/file_io.h) — the same
+// magic/version/key/length/checksum discipline the checkpoint codec uses.
+constexpr FileEnvelope kEnvelope{"RDHPSWPC", kSweepCacheSchemaVersion,
+                                 "sweep cache"};
 
 void write_level(ByteWriter& w, const LevelEvents& ev) {
   w.u64(ev.tag_probes);
@@ -101,16 +28,18 @@ void write_level(ByteWriter& w, const LevelEvents& ev) {
   w.u64(ev.skipped);
 }
 
-bool read_level(ByteReader& r, LevelEvents& ev) {
-  return r.u64(ev.tag_probes) && r.u64(ev.data_probes) && r.u64(ev.fills) &&
-         r.u64(ev.invalidations) && r.u64(ev.writebacks) &&
-         r.u64(ev.accesses) && r.u64(ev.hits) && r.u64(ev.misses) &&
-         r.u64(ev.evictions) && r.u64(ev.skipped);
+void read_level(ByteReader& r, LevelEvents& ev) {
+  ev.tag_probes = r.u64();
+  ev.data_probes = r.u64();
+  ev.fills = r.u64();
+  ev.invalidations = r.u64();
+  ev.writebacks = r.u64();
+  ev.accesses = r.u64();
+  ev.hits = r.u64();
+  ev.misses = r.u64();
+  ev.evictions = r.u64();
+  ev.skipped = r.u64();
 }
-
-// A vector length read from disk is untrusted input: bound it so a corrupt
-// length can't drive a giant allocation before the checksum is consulted.
-constexpr std::uint64_t kMaxVectorLen = 1u << 24;
 
 }  // namespace
 
@@ -185,75 +114,96 @@ std::string serialize_result(const SimResult& r) {
     w.u64(e.pt_occupancy);
     w.u8(e.predictor_active ? 1 : 0);
   }
-  return w.take();
+  const std::vector<std::uint8_t>& buf = w.buffer();
+  return std::string(buf.begin(), buf.end());
 }
 
 Result<SimResult> deserialize_result(const std::string& payload) {
   const Status bad(StatusCode::kDataLoss,
                    "sweep cache payload: truncated or malformed");
-  ByteReader r(payload);
+  ByteReader r(reinterpret_cast<const std::uint8_t*>(payload.data()),
+               payload.size());
   SimResult out;
 
-  std::uint64_t n = 0;
-  if (!r.u64(n) || n > kMaxVectorLen) return bad;
+  std::uint64_t n = r.u64();
+  if (!r.ok() || n > kMaxVectorLen) return bad;
   out.levels.resize(n);
-  for (LevelEvents& ev : out.levels) {
-    if (!read_level(r, ev)) return bad;
-  }
+  for (LevelEvents& ev : out.levels) read_level(r, ev);
 
-  bool ok = r.u64(out.predictor.lookups) && r.u64(out.predictor.updates) &&
-            r.u64(out.predictor.recalibrations) &&
-            r.u64(out.predictor.recal_sets_read) &&
-            r.u64(out.predictor.recal_words_written) &&
-            r.u64(out.predictor.predicted_absent) &&
-            r.u64(out.predictor.predicted_present) &&
-            r.u64(out.predictor.false_positives) &&
-            r.u64(out.predictor.true_positives) &&
-            r.u64(out.prefetch.table_lookups) && r.u64(out.prefetch.issued) &&
-            r.u64(out.prefetch.useful) && r.u64(out.prefetch.useless) &&
-            r.u64(out.prefetch.redundant) && r.u64(out.memory_accesses) &&
-            r.u64(out.demand_memory_accesses) && r.u64(out.memory_writebacks);
-  if (!ok) return bad;
+  out.predictor.lookups = r.u64();
+  out.predictor.updates = r.u64();
+  out.predictor.recalibrations = r.u64();
+  out.predictor.recal_sets_read = r.u64();
+  out.predictor.recal_words_written = r.u64();
+  out.predictor.predicted_absent = r.u64();
+  out.predictor.predicted_present = r.u64();
+  out.predictor.false_positives = r.u64();
+  out.predictor.true_positives = r.u64();
 
-  if (!r.u64(n) || n > kMaxVectorLen) return bad;
+  out.prefetch.table_lookups = r.u64();
+  out.prefetch.issued = r.u64();
+  out.prefetch.useful = r.u64();
+  out.prefetch.useless = r.u64();
+  out.prefetch.redundant = r.u64();
+
+  out.memory_accesses = r.u64();
+  out.demand_memory_accesses = r.u64();
+  out.memory_writebacks = r.u64();
+
+  n = r.u64();
+  if (!r.ok() || n > kMaxVectorLen) return bad;
   out.core_cycles.resize(n);
-  for (Cycles& c : out.core_cycles) {
-    if (!r.u64(c)) return bad;
-  }
-  ok = r.u64(out.exec_cycles) && r.u64(out.total_core_cycles) &&
-       r.u64(out.recal_stall_cycles) && r.u64(out.total_refs) &&
-       r.u64(out.predictor_disabled_refs) && r.u64(out.fault.pt_bits_cleared) &&
-       r.u64(out.fault.pt_bits_set) && r.u64(out.fault.recal_chunks_dropped) &&
-       r.u64(out.fault.trace_refs_perturbed) && r.u64(out.fault.audit_checks) &&
-       r.u64(out.fault.invariant_violations) &&
-       r.u64(out.fault.recovery_recalibrations) &&
-       r.u64(out.fault.recovery_stall_cycles) && r.f64(out.elapsed_seconds);
-  if (!ok) return bad;
+  for (Cycles& c : out.core_cycles) c = r.u64();
+  out.exec_cycles = r.u64();
+  out.total_core_cycles = r.u64();
+  out.recal_stall_cycles = r.u64();
+  out.total_refs = r.u64();
+  out.predictor_disabled_refs = r.u64();
 
-  if (!r.u64(n) || n > kMaxVectorLen) return bad;
+  out.fault.pt_bits_cleared = r.u64();
+  out.fault.pt_bits_set = r.u64();
+  out.fault.recal_chunks_dropped = r.u64();
+  out.fault.trace_refs_perturbed = r.u64();
+  out.fault.audit_checks = r.u64();
+  out.fault.invariant_violations = r.u64();
+  out.fault.recovery_recalibrations = r.u64();
+  out.fault.recovery_stall_cycles = r.u64();
+
+  out.elapsed_seconds = r.f64();
+
+  n = r.u64();
+  if (!r.ok() || n > kMaxVectorLen) return bad;
   out.energy.level_dynamic_j.resize(n);
-  for (double& v : out.energy.level_dynamic_j) {
-    if (!r.f64(v)) return bad;
-  }
-  ok = r.f64(out.energy.predictor_dynamic_j) &&
-       r.f64(out.energy.recalibration_j) && r.f64(out.energy.prefetcher_j) &&
-       r.f64(out.energy.memory_j) && r.f64(out.energy.leakage_j);
-  if (!ok) return bad;
+  for (double& v : out.energy.level_dynamic_j) v = r.f64();
+  out.energy.predictor_dynamic_j = r.f64();
+  out.energy.recalibration_j = r.f64();
+  out.energy.prefetcher_j = r.f64();
+  out.energy.memory_j = r.f64();
+  out.energy.leakage_j = r.f64();
 
-  if (!r.u64(n) || n > kMaxVectorLen) return bad;
+  n = r.u64();
+  if (!r.ok() || n > kMaxVectorLen) return bad;
   out.epochs.resize(n);
   for (EpochSample& e : out.epochs) {
-    std::uint8_t active = 0;
-    ok = r.u64(e.index) && r.u64(e.end_ref) && r.u64(e.end_cycles) &&
-         r.u64(e.refs) && r.u64(e.l1_accesses) && r.u64(e.l1_misses) &&
-         r.u64(e.lookups) && r.u64(e.predicted_absent) &&
-         r.u64(e.predicted_present) && r.u64(e.tp) && r.u64(e.fp) &&
-         r.u64(e.tn) && r.u64(e.fn) && r.u64(e.recalibrations) &&
-         r.u64(e.pt_occupancy) && r.u8(active);
-    if (!ok) return bad;
-    e.predictor_active = active != 0;
+    e.index = r.u64();
+    e.end_ref = r.u64();
+    e.end_cycles = r.u64();
+    e.refs = r.u64();
+    e.l1_accesses = r.u64();
+    e.l1_misses = r.u64();
+    e.lookups = r.u64();
+    e.predicted_absent = r.u64();
+    e.predicted_present = r.u64();
+    e.tp = r.u64();
+    e.fp = r.u64();
+    e.tn = r.u64();
+    e.fn = r.u64();
+    e.recalibrations = r.u64();
+    e.pt_occupancy = r.u64();
+    e.predictor_active = r.u8() != 0;
   }
 
+  if (!r.ok()) return bad;
   if (!r.exhausted()) {
     return Status(StatusCode::kDataLoss,
                   "sweep cache payload: trailing bytes after result");
@@ -273,93 +223,39 @@ std::filesystem::path ResultCache::entry_path(std::uint64_t key) const {
 }
 
 Result<SimResult> ResultCache::load(std::uint64_t key) const {
-  const std::filesystem::path path = entry_path(key);
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return Status(StatusCode::kNotFound,
-                  "sweep cache: no entry " + path.string());
-  }
-  std::string file((std::istreambuf_iterator<char>(in)),
-                   std::istreambuf_iterator<char>());
-  const auto data_loss = [&path](const std::string& why) {
-    return Status(StatusCode::kDataLoss,
-                  "sweep cache entry " + path.string() + ": " + why);
-  };
-  // Header: magic(8) version(4) key(8) payload_len(8); trailer: checksum(8).
-  constexpr std::size_t kHeader = 8 + 4 + 8 + 8;
-  if (file.size() < kHeader + 8) return data_loss("truncated header");
-  if (std::memcmp(file.data(), kMagic, sizeof(kMagic)) != 0) {
-    return data_loss("bad magic");
-  }
-  ByteReader r(file);
-  std::uint64_t skip = 0;
-  r.u64(skip);  // magic, already checked
-  std::uint32_t version = 0;
-  std::uint64_t stored_key = 0, payload_len = 0;
-  if (!r.u32(version) || !r.u64(stored_key) || !r.u64(payload_len)) {
-    return data_loss("truncated header");
-  }
-  if (version != kSweepCacheSchemaVersion) {
-    return data_loss("schema version " + std::to_string(version) +
-                     " != " + std::to_string(kSweepCacheSchemaVersion));
-  }
-  if (stored_key != key) return data_loss("embedded key mismatch");
-  if (file.size() != kHeader + payload_len + 8) {
-    return data_loss("length mismatch (truncated or padded)");
-  }
-  const std::string payload = file.substr(kHeader, payload_len);
-  std::uint64_t stored_sum = 0;
-  for (int i = 0; i < 8; ++i) {
-    stored_sum |= static_cast<std::uint64_t>(static_cast<unsigned char>(
-                      file[kHeader + payload_len + i]))
-                  << (8 * i);
-  }
-  if (stored_sum != fnv1a(payload.data(), payload.size())) {
-    return data_loss("checksum mismatch");
-  }
-  return deserialize_result(payload);
+  Result<std::string> payload = open_envelope(kEnvelope, key, entry_path(key));
+  if (!payload.ok()) return payload.status();
+  return deserialize_result(std::move(payload).value());
 }
 
 Status ResultCache::store(std::uint64_t key, const SimResult& result) const {
-  const std::string payload = serialize_result(result);
-  ByteWriter w;
-  for (char c : kMagic) w.u8(static_cast<std::uint8_t>(c));
-  w.u32(kSweepCacheSchemaVersion);
-  w.u64(key);
-  w.u64(payload.size());
-  std::string file = w.take();
-  file += payload;
-  ByteWriter trailer;
-  trailer.u64(fnv1a(payload.data(), payload.size()));
-  file += trailer.take();
-
-  // Unique temp name per store call: concurrent pool threads may persist
-  // duplicate cells (two sweep points can resolve to the same config).
-  static std::atomic<std::uint64_t> counter{0};
-  const std::filesystem::path final_path = entry_path(key);
-  std::filesystem::path tmp = final_path;
-  tmp += ".tmp" + std::to_string(counter.fetch_add(1));
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out || !out.write(file.data(),
-                           static_cast<std::streamsize>(file.size()))) {
-      return Status(StatusCode::kInternal,
-                    "sweep cache: cannot write " + tmp.string());
-    }
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, final_path, ec);
-  if (ec) {
-    std::filesystem::remove(tmp, ec);
-    return Status(StatusCode::kInternal,
-                  "sweep cache: cannot rename into " + final_path.string());
-  }
-  return Status::Ok();
+  return write_file_atomic(entry_path(key),
+                           seal_envelope(kEnvelope, key,
+                                         serialize_result(result)));
 }
 
 void ResultCache::discard(std::uint64_t key) const {
   std::error_code ec;
   std::filesystem::remove(entry_path(key), ec);
+}
+
+std::size_t ResultCache::gc_orphan_temps(std::chrono::seconds min_age) const {
+  std::size_t removed = 0;
+  std::error_code ec;
+  const auto now = std::filesystem::file_time_type::clock::now();
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.find(".tmp") == std::string::npos) continue;
+    // Age-gate: a temp file younger than min_age may belong to a live
+    // writer racing this sweep; one older than that is a leftover from a
+    // killed process (writers hold temps for milliseconds, not minutes).
+    const auto mtime = entry.last_write_time(ec);
+    if (ec) continue;
+    if (now - mtime < min_age) continue;
+    if (std::filesystem::remove(entry.path(), ec) && !ec) ++removed;
+  }
+  return removed;
 }
 
 }  // namespace redhip

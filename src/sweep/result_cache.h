@@ -11,6 +11,7 @@
 // exists is complete.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <string>
@@ -42,6 +43,12 @@ class ResultCache {
 
   // Remove an entry (used to evict corrupt files before re-simulating).
   void discard(std::uint64_t key) const;
+
+  // Remove `.tmp*` files left behind by killed writers.  Only temps older
+  // than `min_age` are touched — younger ones may belong to a concurrent
+  // live sweep.  Returns how many files were removed.
+  std::size_t gc_orphan_temps(
+      std::chrono::seconds min_age = std::chrono::seconds(900)) const;
 
   std::filesystem::path entry_path(std::uint64_t key) const;
   const std::filesystem::path& dir() const { return dir_; }

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <filesystem>
 #include <memory>
 
+#include "ckpt/checkpoint_io.h"
 #include "common/check.h"
 #include "harness/thread_pool.h"
+#include "sim/config_digest.h"
 #include "sweep/config_digest.h"
 
 namespace redhip {
@@ -67,20 +70,42 @@ std::vector<SweepCell> expand(const SweepSpec& spec) {
 
 namespace {
 
-// One cell, with the same bounded transient-fault retry run_matrix applies:
-// reseed the fault stream (nothing else) and try again.
-SimResult run_cell_with_retry(const SweepCell& cell) {
-  for (std::uint32_t attempt = 0;; ++attempt) {
+// One cell, with the same retry policy run_matrix applies.  A transient
+// injected fault reseeds the fault stream (nothing else) and tries again,
+// bounded by kMaxTransientAttempts; the reseed changes the config digest,
+// so a checkpoint from the aborted attempt misses on key and the retry
+// cold-starts.  A deadline abort retries once with the original spec (an
+// interval checkpoint from the first attempt — same key — shortens the
+// retry); a second timeout lands in cell.status instead of hanging or
+// zeroing the sweep.
+void run_cell_with_retry(SweepCell& cell) {
+  std::uint32_t fault_attempt = 0;
+  bool deadline_retried = false;
+  for (;;) {
     RunSpec spec = cell.spec;
-    if (attempt > 0) {
-      chain_tweak(spec, [attempt](HierarchyConfig& hc) {
-        hc.fault.seed += attempt * 0x9e3779b9ull;
+    if (fault_attempt > 0) {
+      chain_tweak(spec, [fault_attempt](HierarchyConfig& hc) {
+        hc.fault.seed += fault_attempt * 0x9e3779b9ull;
       });
     }
     try {
-      return run_spec(spec);
+      cell.result = run_spec(spec);
+      return;
     } catch (const TransientFaultError&) {
-      if (attempt + 1 >= kMaxTransientAttempts) throw;
+      if (++fault_attempt >= kMaxTransientAttempts) throw;
+    } catch (const DeadlineExceededError& e) {
+      if (!deadline_retried) {
+        deadline_retried = true;
+        continue;
+      }
+      std::string where;
+      for (const std::string& label : cell.labels) {
+        if (!where.empty()) where += '/';
+        where += label;
+      }
+      cell.status =
+          Status(StatusCode::kDeadlineExceeded, where + ": " + e.what());
+      return;
     }
   }
 }
@@ -102,6 +127,14 @@ SweepOutcome run_sweep(const SweepSpec& spec, const SweepRunOptions& opt) {
   std::unique_ptr<ResultCache> cache;
   if (!opt.cache_dir.empty()) {
     cache = std::make_unique<ResultCache>(opt.cache_dir);
+    // Writers killed mid-store leave `.tmp` files behind (the rename never
+    // happened).  Collect stale ones once per sweep so the cache directory
+    // cannot grow without bound across crash/restart cycles.
+    const std::size_t removed = cache->gc_orphan_temps();
+    if (removed > 0) {
+      std::fprintf(stderr, "sweep: removed %zu orphaned temp file%s from %s\n",
+                   removed, removed == 1 ? "" : "s", opt.cache_dir.c_str());
+    }
   }
 
   // Warm pass: serve every resumable cell from the cache; a corrupt entry
@@ -122,6 +155,34 @@ SweepOutcome run_sweep(const SweepSpec& spec, const SweepRunOptions& opt) {
       }
     }
     missing.push_back(i);
+  }
+
+  // Checkpoint wiring for the cells that will actually simulate.  The file
+  // name is the hex ckpt_key, which deliberately excludes refs_per_core and
+  // engine: cells that differ only along those axes share one file, so a
+  // warmup checkpoint (opt.warmup_refs) written by the first such cell
+  // serves every later one — the shared-warmup-prefix optimization.
+  if (!opt.ckpt_dir.empty()) {
+    std::filesystem::create_directories(opt.ckpt_dir);
+    for (std::size_t i : missing) {
+      SweepCell& cell = out.cells[i];
+      const std::uint64_t key =
+          ckpt_key(to_string(cell.spec.bench), cell.spec.scale, cell.spec.seed,
+                   config_digest(resolved_config(cell.spec)));
+      char name[32];
+      std::snprintf(name, sizeof(name), "%016llx.ckpt",
+                    static_cast<unsigned long long>(key));
+      cell.spec.ckpt_path =
+          (std::filesystem::path(opt.ckpt_dir) / name).string();
+      cell.spec.ckpt_interval_refs = opt.ckpt_interval;
+      cell.spec.ckpt_save_at_refs = opt.warmup_refs;
+      cell.spec.ckpt_restore = true;
+    }
+  }
+  if (opt.cell_timeout > 0.0) {
+    for (std::size_t i : missing) {
+      out.cells[i].spec.deadline_seconds = opt.cell_timeout;
+    }
   }
 
   // Longest-estimated-job first, like run_matrix.  Sweep cells can differ
@@ -145,7 +206,8 @@ SweepOutcome run_sweep(const SweepSpec& spec, const SweepRunOptions& opt) {
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         submit_time)
               .count();
-      cell.result = run_cell_with_retry(cell);
+      run_cell_with_retry(cell);
+      if (!cell.status.ok()) return;  // timed out twice; nothing to persist
       cell.result.queue_wait_seconds = queue_wait;
       // Persist immediately (atomic temp+rename): a kill from here on
       // cannot cost this cell again.
@@ -211,6 +273,9 @@ std::vector<std::vector<SimResult>> sweep_matrix(
   ro.cache_dir = tracing ? "" : opts.cache_dir;
   ro.resume = opts.resume;
   ro.jobs = opts.jobs;
+  ro.ckpt_dir = opts.ckpt_dir;
+  ro.ckpt_interval = opts.ckpt_interval;
+  ro.cell_timeout = opts.cell_timeout;
   SweepOutcome out = run_sweep(spec, ro);
   if (stats != nullptr) *stats = out.stats;
 
@@ -218,7 +283,11 @@ std::vector<std::vector<SimResult>> sweep_matrix(
       opts.benches.size(), std::vector<SimResult>(columns.size()));
   for (std::size_t b = 0; b < opts.benches.size(); ++b) {
     for (std::size_t c = 0; c < columns.size(); ++c) {
-      results[b][c] = std::move(out.cells[b * columns.size() + c].result);
+      SweepCell& cell = out.cells[b * columns.size() + c];
+      // The matrix interface has no per-cell status channel; surface a
+      // doubly-timed-out cell as an exception rather than a zeroed row.
+      cell.status.throw_if_error();
+      results[b][c] = std::move(cell.result);
     }
   }
   return results;

@@ -53,6 +53,10 @@ struct SweepCell {
   std::uint64_t key = 0;            // sweep_cache_key(spec)
   bool from_cache = false;
   SimResult result;
+  // OK for a completed cell; kDeadlineExceeded when the cell timed out
+  // twice under SweepRunOptions::cell_timeout (result is then
+  // default-constructed — never a silently zeroed row in a figure).
+  Status status = Status::Ok();
 };
 
 struct SweepStats {
@@ -79,6 +83,25 @@ struct SweepRunOptions {
   // cache is still refreshed — the "measure again from scratch" switch.
   bool resume = true;
   std::size_t jobs = 0;  // 0 = hardware concurrency
+  // Crash-safe checkpointing (src/ckpt).  When `ckpt_dir` names a
+  // directory, every simulated cell checkpoints there under
+  // `<hex ckpt_key>.ckpt` and restores a valid existing file before
+  // running.  The key excludes refs_per_core and engine, so cells that
+  // differ only along those axes SHARE one file — that is the warmup-
+  // sharing mechanism: with `warmup_refs` > 0 the first cell to execute
+  // that many aggregate references writes a one-shot warmup checkpoint,
+  // and every later same-key cell starts from it instead of replaying the
+  // prefix.  A torn/corrupt/foreign file is evicted with a DATA_LOSS
+  // diagnostic and the cell cold-starts; results are bit-identical either
+  // way.  Empty = no checkpointing.
+  std::string ckpt_dir;
+  std::uint64_t ckpt_interval = 0;  // periodic, aggregate refs (0 = never)
+  std::uint64_t warmup_refs = 0;    // one-shot shared warmup (0 = never)
+  // Per-cell wall-clock budget in seconds (0 = none).  A cell exceeding it
+  // aborts at its next safe boundary and is retried once; a second timeout
+  // records Status(kDeadlineExceeded) in SweepCell::status and the sweep
+  // carries on — one stuck cell cannot hang the whole sweep.
+  double cell_timeout = 0.0;
 };
 
 // Expansion only (no simulation): cells with spec/coord/labels/key filled.

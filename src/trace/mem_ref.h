@@ -46,6 +46,16 @@ class TraceSource {
     while (filled < n && next(out[filled])) ++filled;
     return filled;
   }
+
+  // Advance past `n` references without observing them, leaving the source
+  // positioned exactly where `n` next() calls would have left it — how a
+  // checkpoint restore re-synchronizes a trace (sources are rebuilt from
+  // their seed, then skipped to the saved position).  The default drains
+  // next(); indexable sources override with O(1) repositioning.
+  virtual void skip(std::uint64_t n) {
+    MemRef scratch;
+    while (n > 0 && next(scratch)) --n;
+  }
 };
 
 // In-memory trace; the unit tests' workhorse.
@@ -65,6 +75,11 @@ class VectorTraceSource final : public TraceSource {
     std::copy_n(refs_.begin() + static_cast<std::ptrdiff_t>(pos_), take, out);
     pos_ += take;
     return take;
+  }
+
+  void skip(std::uint64_t n) override {
+    pos_ += static_cast<std::size_t>(
+        std::min<std::uint64_t>(n, refs_.size() - pos_));
   }
 
   void rewind() { pos_ = 0; }
