@@ -13,7 +13,11 @@
 // headline `matrix_wall_seconds`: least-interference estimate) alongside
 // median-of-N (`matrix_wall_seconds_median`: typical-run estimate, robust
 // to one quiet outlier in either direction).  Results are identical across
-// repeats by determinism; only wall time varies.
+// repeats by determinism; only wall time varies.  The same min/median pair
+// is carried per run: every `runs[]` row reports `host_seconds` (min over
+// repeats) next to `host_seconds_median`, and the matching `mrefs_per_s` /
+// `mrefs_per_s_median`, so one noisy cell cannot masquerade as a per-bench
+// regression.
 //
 // `--pre-pr-wall <seconds>` additionally records a speedup against an
 // externally measured wall time (scripts/bench_speed.sh passes the wall
@@ -64,12 +68,22 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+double median_of(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
 // One engine measured --repeat times: the first repeat's results (for the
 // identity checks; repeats are bit-identical) plus every repeat's wall
-// clock.
+// clock — aggregate and per cell, so `runs[]` can report min/median pairs.
 struct EngineLeg {
   std::vector<std::vector<SimResult>> results;
   std::vector<MatrixStats> reps;
+  // cell_seconds[bench][column][repeat]: per-cell host wall clock of every
+  // repeat.  The SimResults themselves are bit-identical across repeats, so
+  // only the timing is worth keeping more than once.
+  std::vector<std::vector<std::vector<double>>> cell_seconds;
 
   const MatrixStats& best() const {
     std::size_t bi = 0;
@@ -81,9 +95,7 @@ struct EngineLeg {
   double median_wall() const {
     std::vector<double> w;
     for (const MatrixStats& s : reps) w.push_back(s.wall_seconds);
-    std::sort(w.begin(), w.end());
-    const std::size_t n = w.size();
-    return n % 2 == 1 ? w[n / 2] : 0.5 * (w[n / 2 - 1] + w[n / 2]);
+    return median_of(std::move(w));
   }
 };
 
@@ -95,6 +107,13 @@ EngineLeg measure(ExperimentOptions opts, SimEngine engine,
   for (std::uint32_t r = 0; r < repeat; ++r) {
     MatrixStats stats;
     auto results = run_matrix(opts, columns, &stats);
+    if (r == 0) leg.cell_seconds.resize(results.size());
+    for (std::size_t b = 0; b < results.size(); ++b) {
+      if (r == 0) leg.cell_seconds[b].resize(results[b].size());
+      for (std::size_t c = 0; c < results[b].size(); ++c) {
+        leg.cell_seconds[b][c].push_back(results[b][c].host_seconds);
+      }
+    }
     if (r == 0) leg.results = std::move(results);
     leg.reps.push_back(stats);
   }
@@ -127,7 +146,7 @@ void append_engine_block(std::ostringstream& os, const char* name,
                          const EngineLeg& leg) {
   const MatrixStats& best = leg.best();
   os << "  \"" << name << "\": {\n";
-  char buf[256];
+  char buf[320];
   std::snprintf(buf, sizeof(buf),
                 "    \"matrix_wall_seconds\": %.3f,\n"
                 "    \"matrix_wall_seconds_median\": %.3f,\n"
@@ -142,12 +161,21 @@ void append_engine_block(std::ostringstream& os, const char* name,
   for (std::size_t b = 0; b < opts.benches.size(); ++b) {
     for (std::size_t c = 0; c < columns.size(); ++c) {
       const SimResult& r = leg.results[b][c];
+      // Per-cell min/median over every repeat.  The simulated work of one
+      // cell is repeat-invariant (Mrefs = rate * seconds of any repeat), so
+      // the throughput pair is that work over the min/median wall clock.
+      const std::vector<double>& secs = leg.cell_seconds[b][c];
+      const double sec_min = *std::min_element(secs.begin(), secs.end());
+      const double sec_med = median_of(secs);
+      const double cell_mrefs = r.host_mrefs_per_s * r.host_seconds;
       std::snprintf(buf, sizeof(buf),
                     "      {\"bench\": \"%s\", \"column\": \"%s\", "
-                    "\"host_seconds\": %.3f, \"mrefs_per_s\": %.3f}%s\n",
+                    "\"host_seconds\": %.3f, \"host_seconds_median\": %.3f, "
+                    "\"mrefs_per_s\": %.3f, \"mrefs_per_s_median\": %.3f}%s\n",
                     to_string(opts.benches[b]).c_str(),
-                    columns[c].label.c_str(), r.host_seconds,
-                    r.host_mrefs_per_s,
+                    columns[c].label.c_str(), sec_min, sec_med,
+                    sec_min > 0.0 ? cell_mrefs / sec_min : 0.0,
+                    sec_med > 0.0 ? cell_mrefs / sec_med : 0.0,
                     (b + 1 == opts.benches.size() && c + 1 == columns.size())
                         ? ""
                         : ",");

@@ -5,7 +5,10 @@
 # Three engines are measured on every invocation: fast, the in-binary
 # reference engine (the original run loop, kept alive as the bit-identical
 # oracle), and the parallel bound-weave engine.  Each leg runs REPEAT times
-# and the JSON reports best-of-N alongside median-of-N.  Optionally a
+# and the JSON reports best-of-N alongside median-of-N — both for the
+# aggregate matrix wall time and per run: every runs[] row carries
+# host_seconds (min) / host_seconds_median and the matching mrefs_per_s /
+# mrefs_per_s_median pair.  Optionally a
 # pre-PR wall time measured from the seed binary on the same machine is
 # passed via PRE_PR_WALL (seconds); the checked-in BENCH_speed.json's
 # provenance is recorded in its own config block (cpu model, core count,
@@ -30,6 +33,8 @@
 #                     way the real measurement exercises them)
 #   BUILD_DIR=DIR     build directory (default build-bench)
 #   PRE_PR_WALL=SECS  optional external baseline wall time
+#   PRE_PR_NOTE=TEXT  provenance note for that baseline (defaults to the
+#                     seed-commit engine measured on this host)
 #   REPEAT=N          measurements per engine (default 3; the JSON carries
 #                     best and median)
 #   THREADS=N         parallel-engine worker threads (default 0 = all cores)
@@ -104,7 +109,7 @@ args=(--out=BENCH_speed.json
       --compiler-flags="$flags")
 if [[ -n "${PRE_PR_WALL:-}" ]]; then
   args+=(--pre-pr-wall="$PRE_PR_WALL"
-         --pre-pr-note="pre-fast-path engine (seed commit 28de692), same host, base+redhip matrix")
+         --pre-pr-note="${PRE_PR_NOTE:-pre-fast-path engine (seed commit 28de692), same host, base+redhip matrix}")
 fi
 
 "$BUILD_DIR/bench/bench_speed" "${args[@]}" "${fwd[@]}"

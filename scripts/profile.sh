@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Profile the fast engine's per-reference critical path and print a
+# top-symbols table.
+#
+# Drives `bench_speed` fast-engine-only (reference/parallel/ckpt legs
+# skipped — they would pollute the profile with code the fast path never
+# runs) over the full workload matrix at a reduced ref count, then reports
+# where the host cycles went:
+#
+#   * If `perf` is available: perf record -g over the run, then
+#     `perf report --stdio` truncated to the top TOP symbols.
+#   * Otherwise (containers routinely lack perf_event access or the tool
+#     itself): an instrumented -pg build and gprof's flat profile, same
+#     table shape.  gprof's mcount sampling skews small leaf functions but
+#     ranks the tag-array / probe / run-loop split the same way perf does.
+#
+# The table is printed to stdout and saved to $BUILD_DIR/profile-report.txt
+# so before/after captures can be diffed; the summarized before/after for
+# the current fast-path work lives in DESIGN.md ("Profiling the fast
+# path").
+#
+#   BUILD_DIR=DIR     build directory (default build-profile)
+#   TOP=N             rows of the symbol table to keep (default 15)
+#   REDHIP_NATIVE=0   portable ISA instead of -march=native
+#
+# Usage: scripts/profile.sh [--refs=N] [--scale=N] [extra bench_speed flags]
+# Defaults to --refs=400000 --scale=8 — long enough for the tag arrays to
+# reach steady-state occupancy, short enough for a minutes-scale turnaround.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-profile}
+TOP=${TOP:-15}
+NATIVE=${REDHIP_NATIVE:-1}
+
+native_flag=OFF
+[[ "$NATIVE" == 1 ]] && native_flag=ON
+
+fwd=(--refs=400000 --scale=8)
+fwd+=("$@")
+bench_args=(--skip-reference --skip-parallel --skip-ckpt
+            --out="$BUILD_DIR/profile-bench.json" "${fwd[@]}")
+
+report="$BUILD_DIR/profile-report.txt"
+
+build() {
+  # $1: extra compiler/linker flags
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DREDHIP_NATIVE=$native_flag -DCMAKE_CXX_FLAGS="$1" \
+        -DCMAKE_EXE_LINKER_FLAGS="$1" >/dev/null
+  cmake --build "$BUILD_DIR" --target bench_speed -j "$(nproc)"
+}
+
+mkdir -p "$BUILD_DIR"
+
+if command -v perf >/dev/null 2>&1 &&
+    perf record -o /dev/null -- true >/dev/null 2>&1; then
+  echo "== profiling with perf record (cycles, call graph) =="
+  build ""
+  perf record -o "$BUILD_DIR/perf.data" -g --call-graph=dwarf \
+      -- "$BUILD_DIR/bench/bench_speed" "${bench_args[@]}"
+  {
+    echo "# perf report — top $TOP symbols (self overhead)"
+    perf report -i "$BUILD_DIR/perf.data" --stdio --no-children \
+        --percent-limit 0.5 2>/dev/null | grep -v '^#' | grep -v '^$' \
+        | head -n "$TOP"
+  } | tee "$report"
+else
+  echo "== perf unavailable; falling back to gprof (-pg build) =="
+  build "-pg"
+  (cd "$BUILD_DIR" && "./bench/bench_speed" \
+      "${bench_args[@]/#--out=$BUILD_DIR\//--out=}")
+  {
+    echo "# gprof flat profile — top $TOP symbols (self time)"
+    gprof -b -p "$BUILD_DIR/bench/bench_speed" "$BUILD_DIR/gmon.out" \
+        | head -n "$((TOP + 5))"
+  } | tee "$report"
+fi
+
+echo
+echo "full table: $report"

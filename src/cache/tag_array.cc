@@ -12,6 +12,9 @@ TagArray::TagArray(const CacheGeometry& geom, std::uint64_t seed)
   set_mask_ = sets_ - 1;
   bank_mask_ = geom_.banks - 1;
   entries_.resize(sets_ * geom_.ways);
+  // All ways start invalid: a zero lane word is exactly the invalid
+  // encoding, so value-initialization establishes the lane invariant.
+  ptags_.resize(sets_ * geom_.ways);
   repl_ = ReplacementPolicy::create(geom_.replacement, sets_, geom_.ways, seed);
   lru_ = dynamic_cast<LruPolicy*>(repl_.get());
   embedded_lru_ = lru_ != nullptr && geom_.ways <= 16;
@@ -29,10 +32,7 @@ TagArray::TagArray(const CacheGeometry& geom, std::uint64_t seed)
 
 void TagArray::for_each_valid_in_set(
     std::uint64_t set, const std::function<void(LineAddr)>& fn) const {
-  const Entry* e = set_begin(set);
-  for (std::uint32_t w = 0; w < geom_.ways; ++w) {
-    if (e[w] & kValidBit) fn(line_of(set, tag_of_entry(e[w])));
-  }
+  visit_valid_in_set(set, fn);
 }
 
 void TagArray::for_each_valid(const std::function<void(LineAddr)>& fn) const {

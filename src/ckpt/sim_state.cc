@@ -136,6 +136,10 @@ void MulticoreSimulator::ckpt_serialize(ByteWriter& w) const {
   w.u64(predictor_disabled_refs_);
   w.u64(excl_l1_misses_);
 
+  // Only the packed entries are serialized: the SoA partial-tag lanes are
+  // derived state and ckpt_restore_entries rebuilds them, so the checkpoint
+  // format is unchanged by the lane layout (and stays the smaller of the
+  // two representations).
   for (const TagArray& a : private_) w.u64_vec(a.ckpt_entries());
   w.u64_vec(shared_->ckpt_entries());
 

@@ -32,12 +32,9 @@ CountingBloomFilter::CountingBloomFilter(const CbfConfig& config)
     : config_(config) {
   config_.validate();
   max_count_ = static_cast<std::uint8_t>((1u << config_.counter_bits) - 1);
+  index_mask_ = low_mask(config_.index_bits);
   counters_.assign(config_.entries(), 0);
   disabled_.assign((config_.entries() + 63) / 64, 0);
-}
-
-std::uint64_t CountingBloomFilter::index_of(LineAddr line) const {
-  return xor_fold(line, config_.index_bits);
 }
 
 bool CountingBloomFilter::disabled(std::uint64_t index) const {

@@ -61,7 +61,19 @@ class CountingBloomFilter final : public LlcPredictor {
 
   // --- Introspection -------------------------------------------------------
   const CbfConfig& config() const { return config_; }
-  std::uint64_t index_of(LineAddr line) const;
+  // Branch-free xor-fold of the line address down to index_bits.  Identical
+  // output to bitops' loop-until-zero xor_fold for every input: AND
+  // distributes over XOR and every chunk shifted past bit 63 is zero, so
+  // folding a fixed number of chunks (ceil(64/width)) and masking once at
+  // the end gives the same hash with a trip count that does not depend on
+  // the address — one pass per line on the simulator's hot path.
+  std::uint64_t index_of(LineAddr line) const {
+    std::uint64_t h = line;
+    for (std::uint32_t s = config_.index_bits; s < 64; s += config_.index_bits) {
+      h ^= line >> s;
+    }
+    return h & index_mask_;
+  }
   std::uint8_t counter(std::uint64_t index) const { return counters_[index]; }
   bool disabled(std::uint64_t index) const;
   std::uint64_t disabled_count() const;
@@ -69,6 +81,7 @@ class CountingBloomFilter final : public LlcPredictor {
  private:
   CbfConfig config_;
   std::uint8_t max_count_;
+  std::uint64_t index_mask_;
   std::vector<std::uint8_t> counters_;
   std::vector<std::uint64_t> disabled_;  // bitset: counter overflowed
 };

@@ -95,7 +95,7 @@ Cycles RedhipTable::recalibrate(const TagArray& covered) {
   std::fill(words_.begin(), words_.end(), 0);
   const std::uint64_t sets = covered.sets();
   for (std::uint64_t s = 0; s < sets; ++s) {
-    covered.for_each_valid_in_set(
+    covered.visit_valid_in_set(
         s, [&](LineAddr line) { set_bit(index_of(line)); });
   }
   events_.recal_sets_read += sets;
@@ -127,7 +127,7 @@ Cycles RedhipTable::recalibrate_sets(const TagArray& covered,
     for (std::uint64_t m = 0; m < aliases_per_set; ++m) {
       clear_bit((m << k) | s);
     }
-    covered.for_each_valid_in_set(
+    covered.visit_valid_in_set(
         s, [&](LineAddr line) { set_bit(index_of(line)); });
   }
   events_.recal_sets_read += count;

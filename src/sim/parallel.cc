@@ -116,7 +116,9 @@ bool MulticoreSimulator::parallel_can_speculate() const {
   // lane cannot know its references' positions in that order up front.
   if (injector_ != nullptr) return false;
   // Rollback restores an L1 set by copying its packed entries back; that
-  // only captures the full state for embedded-LRU arrays.  All cores share
+  // only captures the full state for embedded-LRU arrays.  (The SoA
+  // partial-tag lane is derived state — restore_set rebuilds it from the
+  // entries, so the undo log never needs to capture it.)  All cores share
   // one L1 geometry, so core 0 answers for everyone.
   if (!private_[0].state_is_self_contained()) return false;
   return true;
@@ -419,7 +421,9 @@ void MulticoreSimulator::par_rewind_lane(ParLane& lane, std::size_t j) {
   CoreState& cs = cores_[lane.core];
   TagArray& l1 = private_[lane.core];
   // Undo tag-array mutations newest-first; each entry restores the one set
-  // it touched, so overlapping touches unwind correctly.
+  // it touched, so overlapping touches unwind correctly.  restore_set also
+  // rebuilds the set's partial-tag lane from the restored entries, keeping
+  // the SoA lane-mirrors-entries invariant across every rewind.
   for (std::size_t i = lane.log.size(); i-- > j;) {
     const ParLane::Entry& e = lane.log[i];
     if (e.touched_set) l1.restore_set(e.set, e.saved);
@@ -580,7 +584,7 @@ void MulticoreSimulator::par_run_weave_only(std::uint64_t max_refs_per_core,
     if (max_refs_per_core == 0 || cs.refs_done >= max_refs_per_core) {
       cs.exhausted = true;
     }
-    if (!cs.exhausted) heap_.push_back(HeapSlot{cs.clock, c});
+    if (!cs.exhausted) heap_.push_back(HeapSlot::make(cs.clock, c));
   }
   // Restored runs resume with unequal clocks (see run_loop).
   for (std::size_t i = heap_.size() / 2; i-- > 0;) heap_sift_down(i);
@@ -622,7 +626,7 @@ void MulticoreSimulator::par_run_weave_only(std::uint64_t max_refs_per_core,
     // fast engine's run loop with runtime feature flags (the flags never
     // change the execution sequence, only skip no-op work).
     while (!heap_.empty()) {
-      const CoreId best = heap_.front().core;
+      const CoreId best = heap_.front().core();
       CoreState& cs = cores_[best];
       if (cs.buf_pos == cs.buf_len) {
         GenLane& g = gen[best];
@@ -664,7 +668,7 @@ void MulticoreSimulator::par_run_weave_only(std::uint64_t max_refs_per_core,
         cs.exhausted = true;
         heap_pop_top();
       } else {
-        heap_.front().clock = cs.clock;
+        heap_.front() = HeapSlot::make(cs.clock, best);
         heap_sift_down(0);
       }
     }

@@ -41,6 +41,24 @@ MulticoreSimulator::MulticoreSimulator(
   l1_shift_ = l1.geom.line_shift();
   l1_hit_latency_ = l1.phased ? l1.energy.tag_delay + l1.energy.data_delay
                               : l1.energy.parallel_delay();
+  level_timing_.resize(n);
+  for (std::uint32_t lvl = 0; lvl < n; ++lvl) {
+    const LevelSpec& spec = config_.levels[lvl];
+    LevelTiming& t = level_timing_[lvl];
+    t.phased = spec.phased;
+    if (spec.phased) {
+      t.hit_latency = spec.energy.tag_delay + spec.energy.data_delay;
+      t.miss_latency = spec.energy.tag_delay;
+    } else {
+      // Parallel access reads both arrays, but a *miss* is known at
+      // tag-compare time — the discarded data read costs energy, not
+      // latency.  Small caches fold tag timing into the single access
+      // number.
+      t.hit_latency = spec.energy.parallel_delay();
+      t.miss_latency = spec.energy.tag_delay > 0 ? spec.energy.tag_delay
+                                                 : spec.energy.data_delay;
+    }
+  }
 
   // Predictors.
   if (config_.inclusion == InclusionPolicy::kExclusive) {
@@ -127,6 +145,7 @@ MulticoreSimulator::MulticoreSimulator(
     cs.trace = std::move(traces[c]);
     cs.cpi = CpiAccumulator(cpi_centi[c]);
     cs.buf.resize(kRefillBatch);
+    cs.lines.resize(kRefillBatch);
     cores_.push_back(std::move(cs));
   }
 }
@@ -149,7 +168,7 @@ MulticoreSimulator::ProbeOutcome MulticoreSimulator::probe(std::uint32_t lvl,
                                                            LineAddr line,
                                                            bool is_write) {
   TagArray& arr = level_array(lvl, core);
-  const LevelSpec& spec = config_.levels[lvl];
+  const LevelTiming& t = level_timing_[lvl];
   LevelEvents& ev = events_[lvl];
 
   ++ev.accesses;
@@ -159,28 +178,24 @@ MulticoreSimulator::ProbeOutcome MulticoreSimulator::probe(std::uint32_t lvl,
       arr.lookup(line, is_write && lvl == 0 && config_.model_writebacks);
   out.hit = r.hit;
   out.was_prefetched = r.was_prefetched;
-  if (spec.phased) {
-    ++ev.tag_probes;
-    out.latency = spec.energy.tag_delay;
-    if (r.hit) {
-      ++ev.data_probes;
-      out.latency += spec.energy.data_delay;
+  // Same counters and latencies as deriving them from the LevelSpec per
+  // probe (a phased miss never reads the data array; a parallel access
+  // always reads both); the sums were just hoisted into level_timing_.
+  ++ev.tag_probes;
+  if (r.hit) {
+    ++ev.data_probes;
+    ++ev.hits;
+    out.latency = t.hit_latency;
+    if (llc_dir_on_ && is_shared(lvl)) {
+      // Remember the line's LLC slot for the top-private directory update
+      // later in this same access (see dir_memo_line_).
+      dir_memo_line_ = line;
+      dir_memo_way_ = r.way;
     }
   } else {
-    // Parallel access reads both arrays (both priced), but a *miss* is known
-    // at tag-compare time — the discarded data read costs energy, not
-    // latency.  Small caches fold tag timing into the single access number.
-    ++ev.tag_probes;
-    ++ev.data_probes;
-    const Cycles miss_delay = spec.energy.tag_delay > 0
-                                  ? spec.energy.tag_delay
-                                  : spec.energy.data_delay;
-    out.latency = r.hit ? spec.energy.parallel_delay() : miss_delay;
-  }
-  if (r.hit) {
-    ++ev.hits;
-  } else {
+    if (!t.phased) ++ev.data_probes;
     ++ev.misses;
+    out.latency = t.miss_latency;
   }
   if (r.was_prefetched && !prefetchers_.empty()) ++prefetch_events_.useful;
   return out;
@@ -199,12 +214,20 @@ void MulticoreSimulator::note_writeback(std::uint32_t lvl, CoreId core,
 }
 
 void MulticoreSimulator::fill_at(std::uint32_t lvl, CoreId core, LineAddr line,
-                                 bool prefetched, bool dirty) {
+                                 bool prefetched, bool dirty,
+                                 bool known_absent) {
   TagArray& arr = level_array(lvl, core);
   TagArray::FillResult r;
-  // Single set scan: resident copies (a prefetch racing the demand write)
-  // only pick up the dirty bit; absent lines fill, possibly evicting.
-  if (!arr.fill_if_absent(line, prefetched, dirty, &r)) return;
+  if (known_absent) {
+    // Demand path: the probe of this array already missed (or the audited
+    // bypass proved absence), so fill() skips straight to way selection.
+    // Its debug check re-proves the contract.
+    r = arr.fill(line, prefetched, dirty);
+  } else if (!arr.fill_if_absent(line, prefetched, dirty, &r)) {
+    // Single set scan: resident copies (a prefetch racing the demand write)
+    // only pick up the dirty bit; absent lines fill, possibly evicting.
+    return;
+  }
   // Directory upkeep.  A top-private fill claims the line's LLC slot for
   // this core (the inclusive fill order guarantees the LLC copy already
   // exists); an LLC fill recycles the slot, so the victim's mask is
@@ -213,7 +236,17 @@ void MulticoreSimulator::fill_at(std::uint32_t lvl, CoreId core, LineAddr line,
   if (llc_dir_on_) {
     if (lvl == top_private_) {
       std::uint32_t w = 0;
-      const bool in_llc = shared_->find_way(line, &w);
+      bool in_llc;
+      if (line == dir_memo_line_) {
+        // The access already located (or created) the line's LLC slot;
+        // skip the re-scan.  Debug builds re-prove the memo.
+        w = dir_memo_way_;
+        in_llc = true;
+        std::uint32_t check_w = 0;
+        REDHIP_DCHECK(shared_->find_way(line, &check_w) && check_w == w);
+      } else {
+        in_llc = shared_->find_way(line, &w);
+      }
       REDHIP_DCHECK(in_llc);
       if (in_llc) {
         llc_dir_[shared_->set_of(line) * shared_->ways() + w] |=
@@ -224,6 +257,8 @@ void MulticoreSimulator::fill_at(std::uint32_t lvl, CoreId core, LineAddr line,
           llc_dir_[shared_->set_of(line) * shared_->ways() + r.way];
       victim_cores = slot;
       slot = 0;
+      dir_memo_line_ = line;
+      dir_memo_way_ = r.way;
     }
   }
   LevelEvents& ev = events_[lvl];
@@ -577,8 +612,14 @@ Cycles MulticoreSimulator::access_inclusive(CoreId core, LineAddr line,
     lat += config_.memory_latency;
     ++memory_accesses_;
     ++demand_memory_accesses_;
+    // Absence is proven when the bypass was audited (the auditor read the
+    // LLC tags; inclusion extends the proof to every private level) or when
+    // no injector runs (the no-false-negative property is structural).  An
+    // unaudited bypass under injected faults may be wrong — the fill must
+    // tolerate a resident line.
+    const bool bypass_absent = config_.audit.enabled || injector_ == nullptr;
     for (std::uint32_t lvl = n; lvl-- > 0;) {
-      fill_at(lvl, core, line, false, dirty && lvl == 0);
+      fill_at(lvl, core, line, false, dirty && lvl == 0, bypass_absent);
     }
     return lat;
   }
@@ -588,8 +629,11 @@ Cycles MulticoreSimulator::access_inclusive(CoreId core, LineAddr line,
     lat += o.latency;
     if (o.hit) {
       if (llc_pred_) ++llc_pred_->events().true_positives;
+      // Every level below `lvl` probed and missed in this access; nothing
+      // adds lines between the probe and the fill (back-invalidations only
+      // remove), so the fills are known-absent.
       for (std::uint32_t l = lvl; l-- > 0;) {
-        fill_at(l, core, line, false, dirty && l == 0);
+        fill_at(l, core, line, false, dirty && l == 0, true);
       }
       return lat;
     }
@@ -598,8 +642,9 @@ Cycles MulticoreSimulator::access_inclusive(CoreId core, LineAddr line,
   lat += config_.memory_latency;
   ++memory_accesses_;
   ++demand_memory_accesses_;
+  // Full miss: every level probed and missed, so every fill is known-absent.
   for (std::uint32_t lvl = n; lvl-- > 0;) {
-    fill_at(lvl, core, line, false, dirty && lvl == 0);
+    fill_at(lvl, core, line, false, dirty && lvl == 0, true);
   }
   return lat;
 }
@@ -619,8 +664,10 @@ Cycles MulticoreSimulator::access_hybrid(CoreId core, LineAddr line,
     lat += config_.memory_latency;
     ++memory_accesses_;
     ++demand_memory_accesses_;
-    fill_at(n - 1, core, line, false);                // inclusive LLC copy
-    insert_with_cascade(0, core, line, n - 2, dirty); // private chain
+    // Same absence proof as the inclusive bypass: audited, or no injector.
+    fill_at(n - 1, core, line, false, false,
+            config_.audit.enabled || injector_ == nullptr);  // inclusive LLC
+    insert_with_cascade(0, core, line, n - 2, dirty);        // private chain
     return lat;
   }
 
@@ -642,7 +689,8 @@ Cycles MulticoreSimulator::access_hybrid(CoreId core, LineAddr line,
   lat += config_.memory_latency;
   ++memory_accesses_;
   ++demand_memory_accesses_;
-  fill_at(n - 1, core, line, false);
+  // The LLC probe above missed, so its fill is known-absent.
+  fill_at(n - 1, core, line, false, false, true);
   insert_with_cascade(0, core, line, n - 2, dirty);
   return lat;
 }
@@ -805,6 +853,8 @@ void MulticoreSimulator::heap_pop_top() {
 
 template <bool kFault, bool kPrefetch, bool kAutoDisable>
 void MulticoreSimulator::run_loop(std::uint64_t max_refs_per_core) {
+  REDHIP_CHECK_MSG(config_.cores <= 256,
+                   "the packed scheduler key holds the core id in one byte");
   heap_.clear();
   heap_.reserve(cores_.size());
   for (CoreId c = 0; c < config_.cores; ++c) {
@@ -812,7 +862,7 @@ void MulticoreSimulator::run_loop(std::uint64_t max_refs_per_core) {
     if (max_refs_per_core == 0 || cs.refs_done >= max_refs_per_core) {
       cs.exhausted = true;
     }
-    if (!cs.exhausted) heap_.push_back(HeapSlot{cs.clock, c});
+    if (!cs.exhausted) heap_.push_back(HeapSlot::make(cs.clock, c));
   }
   // A cold start pushes every core at clock 0 in id order (already a valid
   // heap); a checkpoint-restored run resumes with unequal clocks, so the
@@ -820,7 +870,7 @@ void MulticoreSimulator::run_loop(std::uint64_t max_refs_per_core) {
   for (std::size_t i = heap_.size() / 2; i-- > 0;) heap_sift_down(i);
 
   while (!heap_.empty()) {
-    const CoreId best = heap_.front().core;
+    const CoreId best = heap_.front().core();
     CoreState& cs = cores_[best];
     if (cs.buf_pos == cs.buf_len) {
       // An empty refill buffer is a safe checkpoint boundary: the scheduler
@@ -836,6 +886,18 @@ void MulticoreSimulator::run_loop(std::uint64_t max_refs_per_core) {
       cs.buf_len =
           static_cast<std::uint32_t>(cs.trace->next_batch(cs.buf.data(), want));
       cs.buf_pos = 0;
+      // Software pipeline, stage 1: batch-compute the batch's line
+      // addresses in one dense pass (the prefetch hints below read them),
+      // and start pulling the first reference's tag lanes while the
+      // scheduler and trace state are still hot.  Neither step touches
+      // simulated state, so the commit order below stays byte-identical to
+      // the reference engine.
+      for (std::uint32_t i = 0; i < cs.buf_len; ++i) {
+        cs.lines[i] = cs.buf[i].addr >> l1_shift_;
+      }
+      if (cs.buf_len > 0 && cs.lines[0] != cs.l1_last_line) {
+        prefetch_next_ref(best, cs.lines[0]);
+      }
       if (obs_ != nullptr) {
         obs_->metrics().add(best, ObsCounter::kRefillBatches);
       }
@@ -846,6 +908,14 @@ void MulticoreSimulator::run_loop(std::uint64_t max_refs_per_core) {
       }
     }
     MemRef ref = cs.buf[cs.buf_pos++];
+    // Software pipeline, stage 2: while this reference simulates, pull the
+    // tag lanes its successor (this core's next buffered reference) will
+    // touch.  The same-line memo makes a repeat of the current line free,
+    // so only a line change issues the hint.
+    if (cs.buf_pos < cs.buf_len) {
+      const LineAddr next = cs.lines[cs.buf_pos];
+      if (next != cs.lines[cs.buf_pos - 1]) prefetch_next_ref(best, next);
+    }
     if constexpr (kFault) {
       injector_->maybe_perturb(ref);  // FaultSite::kTraceAddr
       inject_faults();                // PT single-event upsets
@@ -870,11 +940,16 @@ void MulticoreSimulator::run_loop(std::uint64_t max_refs_per_core) {
       }
     }
     if (obs_ != nullptr) obs_note_ref(best, ref_lat, cs);
+    // Note: committing a core's same-line L1-hit run in one go here is NOT
+    // sound, even though the hits are private — it reorders them against
+    // other cores' LLC evictions, and a back-invalidation landing between
+    // two same-line hits turns the second one into a miss in the reference
+    // interleave.  Scheduling must stay strictly per-reference.
     if (++cs.refs_done >= max_refs_per_core) {
       cs.exhausted = true;
       heap_pop_top();
     } else {
-      heap_.front().clock = cs.clock;
+      heap_.front() = HeapSlot::make(cs.clock, best);
       heap_sift_down(0);
     }
   }

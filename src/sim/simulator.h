@@ -166,6 +166,12 @@ class MulticoreSimulator {
     std::vector<MemRef> buf;
     std::uint32_t buf_pos = 0;
     std::uint32_t buf_len = 0;
+    // Line addresses of buf[0..buf_len), batch-computed at refill (one
+    // vectorizable pass) and consumed by the software pipeline's prefetch
+    // hints.  Hints only: fault injection may perturb ref.addr at consume
+    // time, so access() always re-derives the authoritative line from the
+    // (possibly perturbed) reference.
+    std::vector<LineAddr> lines;
   };
 
   TagArray& level_array(std::uint32_t level, CoreId core);
@@ -189,8 +195,13 @@ class MulticoreSimulator {
   // Install `line` at `lvl`, handling eviction fallout for the configured
   // inclusion policy (back-invalidation, predictor on_evict, prefetch and
   // writeback accounting).  `dirty` installs the line already modified.
+  // `known_absent`: the caller has proved `line` cannot be resident at
+  // `lvl` (a probe of that array missed in this same access, or an audited
+  // bypass verified LLC absence, which inclusion extends upward), so the
+  // resident re-scan inside fill_if_absent is skipped.  Prefetch fills must
+  // pass false — a prefetch can race a demand fill of the same line.
   void fill_at(std::uint32_t lvl, CoreId core, LineAddr line, bool prefetched,
-               bool dirty = false);
+               bool dirty = false, bool known_absent = false);
   // Dirty-eviction bookkeeping for a victim leaving `lvl`.
   void note_writeback(std::uint32_t lvl, CoreId core, LineAddr victim);
   // Remove an LLC victim from every private level (inclusive/hybrid).
@@ -252,16 +263,22 @@ class MulticoreSimulator {
   // Shared epilogue: aggregate events, price energy, apply the stall offset.
   SimResult finalize_result();
 
-  // Min-clock core scheduler: a binary min-heap of (clock, core) ordered
-  // lexicographically, which reproduces the linear scan's deterministic
-  // tie-break (lowest core id among the minimum clocks).  The common
-  // operation is "advance the top core's clock", a single sift-down.
+  // Min-clock core scheduler: a binary min-heap of (clock, core) packed
+  // into one 64-bit key, `clock << 8 | core`.  A single integer compare
+  // reproduces the lexicographic order — and the deterministic tie-break
+  // (lowest core id among the minimum clocks) — because the core id
+  // occupies the low byte; the sift loop compiles branch-light.  Clocks
+  // stay far below 2^56 for any realistic run length and the core count is
+  // checked against the byte at heap build, so the packing is lossless.
+  // The common operation is "advance the top core's clock", one sift-down.
   struct HeapSlot {
-    Cycles clock;
-    CoreId core;
-    bool operator<(const HeapSlot& o) const {
-      return clock != o.clock ? clock < o.clock : core < o.core;
+    std::uint64_t key;
+    static HeapSlot make(Cycles clock, CoreId core) {
+      REDHIP_DCHECK(clock < (Cycles{1} << 56));
+      return HeapSlot{(clock << 8) | core};
     }
+    CoreId core() const { return static_cast<CoreId>(key & 0xFF); }
+    bool operator<(const HeapSlot& o) const { return key < o.key; }
   };
   void heap_sift_down(std::size_t i);
   void heap_pop_top();
@@ -293,11 +310,49 @@ class MulticoreSimulator {
   std::vector<std::uint8_t> llc_dir_;
   bool llc_dir_on_ = false;
   std::uint32_t top_private_ = 0;  // highest private level index (N-2)
+  // One-entry (line -> LLC way) memo feeding the directory update: every
+  // inclusive demand path touches the LLC — a probe hit or a fill — in the
+  // same access before the top-private fill claims the line's slot, so the
+  // way is already known and the find_way re-scan is skipped.  Trusted only
+  // on an exact line match, and sound because an LLC line's way changes
+  // only via an LLC fill (which refreshes the memo); the parallel engine's
+  // speculative rewind never touches the shared array (it restores L1 sets
+  // only), and prefetch fills that miss the memo simply fall back to the
+  // scan.  Maintained only while llc_dir_on_.
+  LineAddr dir_memo_line_ = kNoLine;
+  std::uint32_t dir_memo_way_ = 0;
 
   // Hoisted L1 constants (the memo fast path must not re-derive them per
   // reference): line shift and the latency probe(0) charges for a hit.
   std::uint32_t l1_shift_ = 0;
   Cycles l1_hit_latency_ = 0;
+
+  // Hoisted per-level probe constants: the latency a probe charges on hit
+  // and on miss, and whether the level is phased (a phased miss skips the
+  // data-probe counter).  config_.levels never changes after construction,
+  // so probe() reads this flat table instead of chasing the LevelSpec and
+  // re-deriving the same sums per reference.
+  struct LevelTiming {
+    Cycles hit_latency = 0;
+    Cycles miss_latency = 0;
+    bool phased = false;
+  };
+  std::vector<LevelTiming> level_timing_;
+
+  // Software-pipeline hint (fast engine only): pull the tag lanes `line`
+  // will touch if it misses the same-line memo — every level's set lane
+  // plus the ReDHiP PT row — toward the host caches while the *current*
+  // reference simulates.  Prefetches have no simulated side effects, so the
+  // hint cannot perturb bit-identity with the reference engine; it only
+  // overlaps host memory latency with useful work.
+  void prefetch_next_ref(CoreId core, LineAddr line) {
+    const std::uint32_t n = config_.num_levels();
+    for (std::uint32_t lvl = 0; lvl + 1 < n; ++lvl) {
+      private_[lvl * config_.cores + core].prefetch_line(line);
+    }
+    shared_->prefetch_line(line);
+    if (llc_redhip_ != nullptr) llc_redhip_->prefetch_row(line);
+  }
 
   // Inclusive/hybrid: one predictor over the shared LLC.
   std::unique_ptr<LlcPredictor> llc_pred_;

@@ -1,0 +1,29 @@
+// Scalar-fallback coverage for the SoA tag array: this translation unit is
+// compiled with AVX-512 explicitly disabled (-mno-avx512f -mno-avx512bw,
+// see tests/CMakeLists.txt), so the inline hot path instantiated here runs
+// the portable lane-scan and rank loops even when the rest of the build is
+// -march=native on an AVX-512 host.  The fuzz itself is shared with
+// soa_tagarray_test — same shadow model, same op stream, different ISA.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "tagarray_fuzz.h"
+
+#if defined(__AVX512F__) || defined(__AVX512BW__)
+#error "tagarray_scalar_test must be compiled without AVX-512"
+#endif
+
+namespace redhip {
+namespace {
+
+TEST(ScalarTagArray, RandomizedEquivalenceVsShadowModel) {
+  std::uint64_t seed = 0x5CA1A;
+  for (const CacheGeometry& g : fuzz::fuzz_geometries()) {
+    SCOPED_TRACE("ways=" + std::to_string(g.ways));
+    fuzz::fuzz_against_shadow(g, seed++, 20'000);
+  }
+}
+
+}  // namespace
+}  // namespace redhip
